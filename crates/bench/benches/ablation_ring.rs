@@ -1,0 +1,27 @@
+//! Ablation: redo-ring capacity and flow-control stalls.
+//!
+//! The paper notes the primary "must block" if the redo log fills. This
+//! sweep shrinks the ring until flow control dominates, showing the
+//! capacity cliff.
+use dsnrep_core::EngineConfig;
+use dsnrep_repl::ActiveCluster;
+use dsnrep_simcore::{CostModel, MIB};
+use dsnrep_workloads::WorkloadKind;
+
+fn main() {
+    let txns: u64 = std::env::var("DSNREP_TXNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    println!("### Ablation: redo-ring capacity (active, Debit-Credit, TPS)\n");
+    println!("| ring | TPS |");
+    println!("|------|-----|");
+    for ring in [256u64, 1024, 4096, 16 * 1024, 128 * 1024, MIB] {
+        let mut config = EngineConfig::for_db(50 * MIB);
+        config.ring_capacity = ring;
+        let mut cluster = ActiveCluster::new(CostModel::alpha_21164a(), &config);
+        let mut workload = WorkloadKind::DebitCredit.build(cluster.db_region(), 42);
+        let report = cluster.run(workload.as_mut(), txns);
+        println!("| {ring:>6} | {:>9.0} |", report.tps());
+    }
+}

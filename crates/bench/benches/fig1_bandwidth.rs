@@ -1,0 +1,16 @@
+//! Regenerates Figure 1: Memory Channel effective bandwidth by packet size.
+use dsnrep_bench::{paper, Comparison};
+
+fn main() {
+    let mut t = Comparison::new(
+        "Figure 1: effective bandwidth by packet size (MB/s)",
+        &["packet size", "paper", "measured"],
+    );
+    for (point, (size, paper_bw)) in dsnrep_bench::experiments::figure1()
+        .iter()
+        .zip(paper::FIGURE1)
+    {
+        t.row(&format!("{size} bytes"), paper_bw, point.mib_per_sec);
+    }
+    t.print();
+}

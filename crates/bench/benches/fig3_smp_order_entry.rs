@@ -1,0 +1,22 @@
+//! Regenerates Figure 3: SMP primary scaling, Order-Entry.
+use dsnrep_bench::experiments::{smp_figure, RunScale, FIGURE_SCHEMES};
+use dsnrep_bench::{paper, Comparison};
+use dsnrep_workloads::WorkloadKind;
+
+fn main() {
+    let measured = smp_figure(WorkloadKind::OrderEntry, RunScale::from_env());
+    let mut t = Comparison::new(
+        "Figure 3: SMP aggregate throughput, Order-Entry (TPS; paper values read from the plot)",
+        &["configuration", "paper~", "measured"],
+    );
+    for (s, scheme) in FIGURE_SCHEMES.iter().enumerate() {
+        for procs in 1..=4usize {
+            t.row(
+                &format!("{scheme} x{procs}"),
+                paper::FIGURE3[s][procs - 1],
+                measured[s][procs - 1],
+            );
+        }
+    }
+    t.print();
+}

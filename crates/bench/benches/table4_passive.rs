@@ -1,0 +1,23 @@
+//! Regenerates Table 4: passive primary-backup throughput of Versions 0-3.
+use dsnrep_bench::experiments::{kind_index, table4_and_5, RunScale};
+use dsnrep_bench::{paper, Comparison};
+use dsnrep_workloads::WorkloadKind;
+
+fn main() {
+    let result = table4_and_5(RunScale::from_env());
+    let mut t = Comparison::new(
+        "Table 4: passive primary-backup throughput (TPS)",
+        &["configuration", "paper", "measured"],
+    );
+    for kind in WorkloadKind::ALL {
+        let k = kind_index(kind);
+        for (v, label) in paper::VERSION_LABELS.iter().enumerate() {
+            t.row(
+                &format!("{kind}: {label}"),
+                paper::TABLE4[k][v],
+                result[k][v].0,
+            );
+        }
+    }
+    t.print();
+}

@@ -1,0 +1,86 @@
+//! Minimal ASCII charts for the SMP scaling figures.
+//!
+//! The paper presents Figures 2 and 3 as line plots; the `reproduce`
+//! binary renders the measured equivalents as horizontal bar groups so the
+//! saturation shapes are visible directly in a terminal or Markdown code
+//! block.
+
+use std::fmt::Write as _;
+
+/// Renders grouped horizontal bars: one group per x value (processor
+/// count), one bar per series.
+///
+/// # Examples
+///
+/// ```
+/// use dsnrep_bench::ascii_chart;
+///
+/// let chart = ascii_chart(
+///     "TPS by processors",
+///     &["1", "2"],
+///     &[("Active", vec![100.0, 200.0]), ("Passive", vec![90.0, 120.0])],
+///     40,
+/// );
+/// assert!(chart.contains("Active"));
+/// assert!(chart.contains('#'));
+/// ```
+///
+/// # Panics
+///
+/// Panics if a series' length differs from the number of x labels.
+pub fn ascii_chart(
+    title: &str,
+    x_labels: &[&str],
+    series: &[(&str, Vec<f64>)],
+    width: usize,
+) -> String {
+    let max = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let name_w = series.iter().map(|(n, _)| n.len()).max().unwrap_or(4);
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    for (xi, x) in x_labels.iter().enumerate() {
+        let _ = writeln!(out, "  x{x}:");
+        for (name, ys) in series {
+            assert_eq!(
+                ys.len(),
+                x_labels.len(),
+                "series {name} has the wrong length"
+            );
+            let y = ys[xi];
+            let bar = ((y / max) * width as f64).round() as usize;
+            let _ = writeln!(out, "    {name:name_w$} |{:#<bar$}| {y:.0}", "");
+        }
+    }
+    let _ = writeln!(out, "  (bar scale: {max:.0} = full width)");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_the_maximum() {
+        let chart = ascii_chart("t", &["1"], &[("a", vec![50.0]), ("b", vec![100.0])], 10);
+        let a_bar = chart.lines().find(|l| l.contains("a ")).expect("series a");
+        let b_bar = chart.lines().find(|l| l.contains("b ")).expect("series b");
+        assert_eq!(a_bar.matches('#').count(), 5);
+        assert_eq!(b_bar.matches('#').count(), 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        let _ = ascii_chart("t", &["1", "2"], &[("a", vec![1.0])], 10);
+    }
+
+    #[test]
+    fn zero_data_renders_without_nan() {
+        let chart = ascii_chart("t", &["1"], &[("a", vec![0.0])], 10);
+        assert!(!chart.contains("NaN"));
+    }
+}

@@ -1,0 +1,23 @@
+//! The benchmark harness: regenerates every table and figure of the paper.
+//!
+//! * [`experiments`] — one function per paper artifact,
+//!   returning structured results.
+//! * [`paper`] — the published numbers, transcribed.
+//! * [`Comparison`] — paper-vs-measured table rendering.
+//!
+//! Run the whole evaluation with `cargo bench -p dsnrep-bench` (each
+//! `benches/` target regenerates one table or figure), or
+//! `cargo run --release -p dsnrep-bench --bin reproduce` for the full
+//! report in one pass. `DSNREP_TXNS` scales the run lengths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod chart;
+pub mod experiments;
+pub mod paper;
+mod report;
+
+pub use chart::ascii_chart;
+pub use report::Comparison;

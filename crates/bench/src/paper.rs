@@ -1,0 +1,100 @@
+//! The paper's published numbers, transcribed for side-by-side reporting.
+//!
+//! Throughputs are transactions per second; traffic is in MB (the paper's
+//! unit; we interpret it as mebibytes). Figure values are read from the
+//! plots and marked approximate.
+
+/// Version labels in paper order (index 0..=3 = Version 0..=3).
+pub const VERSION_LABELS: [&str; 4] = [
+    "Version 0 (Vista)",
+    "Version 1 (Mirror by Copy)",
+    "Version 2 (Mirror by Diff)",
+    "Version 3 (Improved Log)",
+];
+
+/// Transactions in the paper's measured runs (used to scale traffic
+/// volumes): 22.8 s x 218 627 TPS for Debit-Credit, 6.2 s x 73 748 TPS for
+/// Order-Entry (§3).
+pub const RUN_TXNS: [f64; 2] = [4_984_695.0, 457_237.0];
+
+/// Table 1: single machine vs straightforward primary-backup.
+/// `[workload][single, primary_backup]`.
+pub const TABLE1: [[f64; 2]; 2] = [[218_627.0, 38_735.0], [73_748.0, 27_035.0]];
+
+/// Table 2: straightforward-implementation traffic in MB.
+/// `[workload][modified, undo, meta, total]`.
+pub const TABLE2: [[f64; 4]; 2] = [
+    [140.8, 323.2, 6_708.4, 7_172.4],
+    [38.9, 199.8, 433.6, 672.3],
+];
+
+/// Table 3: standalone TPS. `[workload][version]`.
+pub const TABLE3: [[f64; 4]; 2] = [
+    [218_627.0, 310_077.0, 266_922.0, 372_692.0],
+    [73_748.0, 81_340.0, 74_544.0, 95_809.0],
+];
+
+/// Table 4: passive primary-backup TPS. `[workload][version]`.
+pub const TABLE4: [[f64; 4]; 2] = [
+    [38_735.0, 119_494.0, 131_574.0, 275_512.0],
+    [27_035.0, 49_072.0, 51_219.0, 56_248.0],
+];
+
+/// Table 5: passive-backup traffic in MB.
+/// `[workload][version][modified, undo, meta, total]`.
+pub const TABLE5: [[[f64; 4]; 4]; 2] = [
+    [
+        [140.8, 323.2, 6_708.4, 7_172.4],
+        [140.8, 323.2, 40.4, 504.4],
+        [140.8, 140.8, 40.4, 322.1],
+        [140.8, 323.2, 141.4, 605.4],
+    ],
+    [
+        [38.9, 199.8, 433.6, 672.3],
+        [38.9, 199.8, 3.7, 242.4],
+        [38.9, 38.9, 3.7, 81.5],
+        [38.9, 199.8, 14.5, 253.2],
+    ],
+];
+
+/// Table 6: best passive (Version 3) vs active TPS.
+/// `[workload][passive, active]`.
+pub const TABLE6: [[f64; 2]; 2] = [[275_512.0, 314_861.0], [56_248.0, 73_940.0]];
+
+/// Table 7: passive-V3 vs active traffic in MB.
+/// `[workload][scheme][modified, undo, meta, total]` with scheme 0 =
+/// passive Version 3, 1 = active.
+pub const TABLE7: [[[f64; 4]; 2]; 2] = [
+    [[140.8, 323.2, 141.4, 605.4], [140.8, 0.0, 141.4, 282.2]],
+    [[38.9, 199.8, 14.5, 253.2], [38.9, 0.0, 24.7, 63.6]],
+];
+
+/// Table 8: active-backup TPS by database size (10 MB, 100 MB, 1 GB).
+/// `[workload][size]`.
+pub const TABLE8: [[f64; 3]; 2] = [
+    [322_102.0, 301_604.0, 280_646.0],
+    [76_726.0, 69_496.0, 59_989.0],
+];
+
+/// Figure 1: effective bandwidth in MB/s at 4/8/16/32-byte packets
+/// (approximate, read from the plot; the 32-byte point is stated in §2.3).
+pub const FIGURE1: [(u64, f64); 4] = [(4, 14.0), (8, 25.0), (16, 45.0), (32, 80.0)];
+
+/// Figure 2: SMP Debit-Credit aggregate TPS at 1..=4 processors
+/// (approximate, read from the plot). `[scheme][processors-1]` with schemes
+/// Active, Passive V3, Passive V2, Passive V1.
+pub const FIGURE2: [[f64; 4]; 4] = [
+    [315_000.0, 640_000.0, 960_000.0, 1_290_000.0],
+    [275_000.0, 480_000.0, 500_000.0, 510_000.0],
+    [131_000.0, 230_000.0, 250_000.0, 255_000.0],
+    [119_000.0, 210_000.0, 225_000.0, 230_000.0],
+];
+
+/// Figure 3: SMP Order-Entry aggregate TPS at 1..=4 processors
+/// (approximate, read from the plot). Scheme order as in [`FIGURE2`].
+pub const FIGURE3: [[f64; 4]; 4] = [
+    [74_000.0, 145_000.0, 220_000.0, 295_000.0],
+    [56_000.0, 100_000.0, 105_000.0, 105_000.0],
+    [51_000.0, 80_000.0, 85_000.0, 85_000.0],
+    [49_000.0, 68_000.0, 72_000.0, 72_000.0],
+];

@@ -1,0 +1,208 @@
+//! Heartbeat-based failure detection.
+//!
+//! The paper explicitly defers crash detection and group view management to
+//! "well-known solutions" (its reference \[12\] is the Microsoft Cluster
+//! Service design). This module provides a small, deterministic version so
+//! the repository's failover story is end-to-end executable: the primary
+//! writes a heartbeat sequence number through the SAN at a fixed period;
+//! the backup suspects the primary after a configurable number of missed
+//! periods.
+
+use dsnrep_simcore::{VirtualDuration, VirtualInstant};
+
+/// Failure-detector configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HeartbeatConfig {
+    /// How often the primary emits a heartbeat.
+    pub period: VirtualDuration,
+    /// Missed periods before the peer is suspected.
+    pub misses: u32,
+}
+
+impl Default for HeartbeatConfig {
+    /// 1 ms heartbeats, suspect after 3 misses: conservative for a SAN with
+    /// 3.3 µs latency, giving a worst-case detection time of ~4 ms.
+    fn default() -> Self {
+        HeartbeatConfig {
+            period: VirtualDuration::from_millis(1),
+            misses: 3,
+        }
+    }
+}
+
+/// A per-peer heartbeat monitor.
+///
+/// # Examples
+///
+/// ```
+/// use dsnrep_cluster::{HeartbeatConfig, HeartbeatMonitor};
+/// use dsnrep_simcore::{VirtualDuration, VirtualInstant};
+///
+/// let config = HeartbeatConfig { period: VirtualDuration::from_micros(100), misses: 2 };
+/// let mut monitor = HeartbeatMonitor::new(config, VirtualInstant::EPOCH);
+/// let t1 = VirtualInstant::EPOCH + VirtualDuration::from_micros(100);
+/// monitor.observe(t1);
+/// assert!(!monitor.is_suspect(t1 + VirtualDuration::from_micros(150)));
+/// assert!(monitor.is_suspect(t1 + VirtualDuration::from_micros(250)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HeartbeatMonitor {
+    config: HeartbeatConfig,
+    last_seen: VirtualInstant,
+    observed: u64,
+}
+
+impl HeartbeatMonitor {
+    /// Creates a monitor that treats `start` as the first implicit
+    /// heartbeat (joining the cluster counts as being alive).
+    pub fn new(config: HeartbeatConfig, start: VirtualInstant) -> Self {
+        HeartbeatMonitor {
+            config,
+            last_seen: start,
+            observed: 0,
+        }
+    }
+
+    /// Records a heartbeat that arrived at `at`. Out-of-order arrivals
+    /// (earlier than the newest seen) are ignored.
+    pub fn observe(&mut self, at: VirtualInstant) {
+        if at > self.last_seen {
+            self.last_seen = at;
+        }
+        self.observed += 1;
+    }
+
+    /// The instant after which the peer becomes suspect.
+    pub fn deadline(&self) -> VirtualInstant {
+        self.last_seen + self.config.period * u64::from(self.config.misses)
+    }
+
+    /// Whether the peer is suspected dead at `now`.
+    pub fn is_suspect(&self, now: VirtualInstant) -> bool {
+        now > self.deadline()
+    }
+
+    /// Heartbeats observed so far.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Last heartbeat arrival.
+    pub fn last_seen(&self) -> VirtualInstant {
+        self.last_seen
+    }
+}
+
+/// The primary-side heartbeat schedule: deterministic emission instants.
+///
+/// # Examples
+///
+/// ```
+/// use dsnrep_cluster::{HeartbeatConfig, HeartbeatSchedule};
+/// use dsnrep_simcore::{VirtualDuration, VirtualInstant};
+///
+/// let config = HeartbeatConfig { period: VirtualDuration::from_micros(10), misses: 3 };
+/// let mut schedule = HeartbeatSchedule::new(config, VirtualInstant::EPOCH);
+/// let first = schedule.next_due();
+/// schedule.emitted(first);
+/// assert_eq!(schedule.next_due(), first + VirtualDuration::from_micros(10));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HeartbeatSchedule {
+    config: HeartbeatConfig,
+    next: VirtualInstant,
+    emitted: u64,
+}
+
+impl HeartbeatSchedule {
+    /// Creates a schedule whose first beat is due one period after `start`.
+    pub fn new(config: HeartbeatConfig, start: VirtualInstant) -> Self {
+        HeartbeatSchedule {
+            config,
+            next: start + config.period,
+            emitted: 0,
+        }
+    }
+
+    /// When the next heartbeat should be sent.
+    pub fn next_due(&self) -> VirtualInstant {
+        self.next
+    }
+
+    /// Records that a heartbeat was sent at `at` and advances the schedule.
+    pub fn emitted(&mut self, at: VirtualInstant) {
+        self.emitted += 1;
+        self.next = at.max(self.next) + self.config.period;
+    }
+
+    /// Heartbeats emitted so far.
+    pub fn count(&self) -> u64 {
+        self.emitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> HeartbeatConfig {
+        HeartbeatConfig {
+            period: VirtualDuration::from_micros(100),
+            misses: 3,
+        }
+    }
+
+    #[test]
+    fn healthy_peer_is_never_suspect() {
+        let mut m = HeartbeatMonitor::new(config(), VirtualInstant::EPOCH);
+        let mut now = VirtualInstant::EPOCH;
+        for _ in 0..50 {
+            now += VirtualDuration::from_micros(100);
+            m.observe(now);
+            assert!(!m.is_suspect(now + VirtualDuration::from_micros(120)));
+        }
+        assert_eq!(m.observed(), 50);
+    }
+
+    #[test]
+    fn silent_peer_is_suspected_after_misses() {
+        let m = HeartbeatMonitor::new(config(), VirtualInstant::EPOCH);
+        // Deadline: 3 * 100 us after the implicit start beat.
+        assert!(!m.is_suspect(VirtualInstant::from_picos(300_000_000)));
+        assert!(m.is_suspect(VirtualInstant::from_picos(300_000_001)));
+    }
+
+    #[test]
+    fn out_of_order_heartbeats_do_not_regress_the_deadline() {
+        let mut m = HeartbeatMonitor::new(config(), VirtualInstant::EPOCH);
+        let late = VirtualInstant::EPOCH + VirtualDuration::from_micros(500);
+        m.observe(late);
+        m.observe(VirtualInstant::EPOCH + VirtualDuration::from_micros(100));
+        assert_eq!(m.last_seen(), late);
+    }
+
+    #[test]
+    fn schedule_is_strictly_periodic() {
+        let mut s = HeartbeatSchedule::new(config(), VirtualInstant::EPOCH);
+        let mut previous = VirtualInstant::EPOCH;
+        for _ in 0..10 {
+            let due = s.next_due();
+            assert_eq!(
+                due.duration_since(previous),
+                VirtualDuration::from_micros(100)
+            );
+            s.emitted(due);
+            previous = due;
+        }
+        assert_eq!(s.count(), 10);
+    }
+
+    #[test]
+    fn late_emission_shifts_the_schedule() {
+        let mut s = HeartbeatSchedule::new(config(), VirtualInstant::EPOCH);
+        let due = s.next_due();
+        let late = due + VirtualDuration::from_micros(40);
+        s.emitted(late);
+        assert_eq!(s.next_due(), late + VirtualDuration::from_micros(100));
+    }
+}

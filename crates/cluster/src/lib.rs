@@ -1,0 +1,50 @@
+//! Cluster availability machinery: failure detection, membership, takeover.
+//!
+//! The paper focuses on replication performance and explicitly defers
+//! "crash detection and group view management" to well-known solutions
+//! (its reference \[12\] is the Microsoft Cluster Service). This crate
+//! supplies a compact, deterministic version of those pieces so the
+//! repository tells the full availability story end to end:
+//!
+//! * [`HeartbeatSchedule`] / [`HeartbeatMonitor`] — periodic heartbeats
+//!   over the SAN and a miss-counting failure detector.
+//! * [`NodeId`] / [`GroupView`] / [`ViewManager`] — epoch-numbered views
+//!   with deterministic backup promotion.
+//! * [`takeover_timeline`] — crash-to-serving outage computation, combining
+//!   detection latency with the engine's measured recovery time.
+//!
+//! The integration tests at the workspace root drive a real
+//! `dsnrep-repl` failover through these pieces.
+//!
+//! # Examples
+//!
+//! ```
+//! use dsnrep_cluster::{HeartbeatConfig, NodeId, takeover_timeline, ViewManager};
+//! use dsnrep_simcore::{VirtualDuration, VirtualInstant};
+//!
+//! let mut views = ViewManager::new(NodeId::new(0), vec![NodeId::new(1)],
+//!                                  VirtualInstant::EPOCH);
+//! let crash = VirtualInstant::EPOCH + VirtualDuration::from_millis(20);
+//! let timeline = takeover_timeline(
+//!     HeartbeatConfig::default(),
+//!     VirtualDuration::from_micros(3),
+//!     crash,
+//!     VirtualDuration::from_millis(1),
+//!     &mut views,
+//! )?;
+//! println!("outage: {}", timeline.outage());
+//! assert_eq!(views.current().primary(), NodeId::new(1));
+//! # Ok::<(), dsnrep_cluster::ViewError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod heartbeat;
+mod membership;
+mod timeline;
+
+pub use heartbeat::{HeartbeatConfig, HeartbeatMonitor, HeartbeatSchedule};
+pub use membership::{GroupView, NodeId, Role, ViewError, ViewManager};
+pub use timeline::{takeover_timeline, TakeoverTimeline};

@@ -1,0 +1,276 @@
+//! Group views and the takeover state machine.
+//!
+//! A minimal two-plus-node membership layer: a [`GroupView`] names the
+//! current primary and backups under a monotonically increasing epoch.
+//! When the failure detector suspects the primary, [`ViewManager::fail`]
+//! installs a successor view promoting the most senior live backup —
+//! deterministically, so every surviving node computes the same view
+//! without coordination (sufficient for the simulated two-node cluster;
+//! a real multi-node deployment would run a membership consensus here).
+
+use core::fmt;
+use std::error::Error;
+
+use dsnrep_simcore::VirtualInstant;
+
+/// A cluster node identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u8);
+
+impl NodeId {
+    /// Creates a node id.
+    pub const fn new(id: u8) -> Self {
+        NodeId(id)
+    }
+
+    /// The raw id.
+    pub const fn as_u8(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A node's role within a view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Serves transactions.
+    Primary,
+    /// Maintains a replica and stands by to take over.
+    Backup,
+}
+
+/// One installed group view.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupView {
+    epoch: u64,
+    primary: NodeId,
+    backups: Vec<NodeId>,
+    installed_at: VirtualInstant,
+}
+
+impl GroupView {
+    /// The view's epoch (monotone across installs).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The primary in this view.
+    pub fn primary(&self) -> NodeId {
+        self.primary
+    }
+
+    /// The backups, in seniority order.
+    pub fn backups(&self) -> &[NodeId] {
+        &self.backups
+    }
+
+    /// When the view was installed.
+    pub fn installed_at(&self) -> VirtualInstant {
+        self.installed_at
+    }
+
+    /// The role of `node`, or `None` if it is not a member.
+    pub fn role_of(&self, node: NodeId) -> Option<Role> {
+        if node == self.primary {
+            Some(Role::Primary)
+        } else if self.backups.contains(&node) {
+            Some(Role::Backup)
+        } else {
+            None
+        }
+    }
+}
+
+/// Errors from view transitions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViewError {
+    /// The failed node is not a member of the current view.
+    NotAMember {
+        /// The unknown node.
+        node: NodeId,
+    },
+    /// The primary failed and no backup remains to take over.
+    NoSuccessor,
+}
+
+impl fmt::Display for ViewError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewError::NotAMember { node } => write!(f, "{node} is not in the current view"),
+            ViewError::NoSuccessor => f.write_str("no backup remains to take over"),
+        }
+    }
+}
+
+impl Error for ViewError {}
+
+/// Installs group views in response to failures.
+///
+/// # Examples
+///
+/// ```
+/// use dsnrep_cluster::{NodeId, Role, ViewManager};
+/// use dsnrep_simcore::VirtualInstant;
+///
+/// let primary = NodeId::new(0);
+/// let backup = NodeId::new(1);
+/// let mut views = ViewManager::new(primary, vec![backup], VirtualInstant::EPOCH);
+/// assert_eq!(views.current().primary(), primary);
+///
+/// let view = views.fail(primary, VirtualInstant::from_picos(1_000))?;
+/// assert_eq!(view.primary(), backup);
+/// assert_eq!(view.epoch(), 2);
+/// # Ok::<(), dsnrep_cluster::ViewError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct ViewManager {
+    current: GroupView,
+    history: Vec<GroupView>,
+}
+
+impl ViewManager {
+    /// Creates a manager with an initial view at epoch 1.
+    pub fn new(primary: NodeId, backups: Vec<NodeId>, at: VirtualInstant) -> Self {
+        ViewManager {
+            current: GroupView {
+                epoch: 1,
+                primary,
+                backups,
+                installed_at: at,
+            },
+            history: Vec::new(),
+        }
+    }
+
+    /// The current view.
+    pub fn current(&self) -> &GroupView {
+        &self.current
+    }
+
+    /// All superseded views, oldest first.
+    pub fn history(&self) -> &[GroupView] {
+        &self.history
+    }
+
+    /// Removes `node` from the view; if it was the primary, the most senior
+    /// backup is promoted. Returns the newly installed view.
+    ///
+    /// # Errors
+    ///
+    /// [`ViewError::NotAMember`] if `node` is not in the current view;
+    /// [`ViewError::NoSuccessor`] if the primary fails with no backups.
+    pub fn fail(&mut self, node: NodeId, at: VirtualInstant) -> Result<GroupView, ViewError> {
+        if self.current.role_of(node).is_none() {
+            return Err(ViewError::NotAMember { node });
+        }
+        let mut next = self.current.clone();
+        next.epoch += 1;
+        next.installed_at = at;
+        if node == next.primary {
+            if next.backups.is_empty() {
+                return Err(ViewError::NoSuccessor);
+            }
+            next.primary = next.backups.remove(0);
+        } else {
+            next.backups.retain(|&b| b != node);
+        }
+        self.history
+            .push(std::mem::replace(&mut self.current, next));
+        Ok(self.current.clone())
+    }
+
+    /// Adds a (re-synchronized) node back as the most junior backup,
+    /// installing a new view.
+    pub fn join(&mut self, node: NodeId, at: VirtualInstant) -> GroupView {
+        let mut next = self.current.clone();
+        next.epoch += 1;
+        next.installed_at = at;
+        if next.role_of(node).is_none() {
+            next.backups.push(node);
+        }
+        self.history
+            .push(std::mem::replace(&mut self.current, next));
+        self.current.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager() -> ViewManager {
+        ViewManager::new(
+            NodeId::new(0),
+            vec![NodeId::new(1), NodeId::new(2)],
+            VirtualInstant::EPOCH,
+        )
+    }
+
+    #[test]
+    fn primary_failure_promotes_senior_backup() {
+        let mut m = manager();
+        let v = m
+            .fail(NodeId::new(0), VirtualInstant::from_picos(5))
+            .unwrap();
+        assert_eq!(v.primary(), NodeId::new(1));
+        assert_eq!(v.backups(), &[NodeId::new(2)]);
+        assert_eq!(v.epoch(), 2);
+        assert_eq!(m.history().len(), 1);
+    }
+
+    #[test]
+    fn backup_failure_keeps_primary() {
+        let mut m = manager();
+        let v = m
+            .fail(NodeId::new(2), VirtualInstant::from_picos(5))
+            .unwrap();
+        assert_eq!(v.primary(), NodeId::new(0));
+        assert_eq!(v.backups(), &[NodeId::new(1)]);
+    }
+
+    #[test]
+    fn cascading_failures_exhaust_successors() {
+        let mut m = manager();
+        m.fail(NodeId::new(0), VirtualInstant::from_picos(1))
+            .unwrap();
+        m.fail(NodeId::new(1), VirtualInstant::from_picos(2))
+            .unwrap();
+        let err = m
+            .fail(NodeId::new(2), VirtualInstant::from_picos(3))
+            .unwrap_err();
+        assert_eq!(err, ViewError::NoSuccessor);
+    }
+
+    #[test]
+    fn unknown_node_is_rejected() {
+        let mut m = manager();
+        let err = m
+            .fail(NodeId::new(9), VirtualInstant::from_picos(1))
+            .unwrap_err();
+        assert!(matches!(err, ViewError::NotAMember { .. }));
+    }
+
+    #[test]
+    fn rejoin_after_failure() {
+        let mut m = manager();
+        m.fail(NodeId::new(0), VirtualInstant::from_picos(1))
+            .unwrap();
+        let v = m.join(NodeId::new(0), VirtualInstant::from_picos(9));
+        assert_eq!(v.primary(), NodeId::new(1));
+        assert_eq!(v.backups(), &[NodeId::new(2), NodeId::new(0)]);
+        assert_eq!(v.epoch(), 3);
+    }
+
+    #[test]
+    fn roles_are_reported() {
+        let m = manager();
+        assert_eq!(m.current().role_of(NodeId::new(0)), Some(Role::Primary));
+        assert_eq!(m.current().role_of(NodeId::new(1)), Some(Role::Backup));
+        assert_eq!(m.current().role_of(NodeId::new(7)), None);
+    }
+}

@@ -1,0 +1,181 @@
+//! End-to-end takeover timelines.
+//!
+//! Combines the heartbeat detector and the view manager into a single
+//! deterministic computation: given a crash instant, when is the failure
+//! detected, when is the new view installed, and — with a caller-supplied
+//! recovery duration — when does the promoted backup start serving?
+//! This quantifies the paper's availability claim: with replication the
+//! outage is the detection + takeover window (milliseconds), not a machine
+//! reboot.
+
+use dsnrep_simcore::{VirtualDuration, VirtualInstant};
+
+use crate::heartbeat::{HeartbeatConfig, HeartbeatMonitor, HeartbeatSchedule};
+use crate::membership::ViewManager;
+
+/// The instants of one takeover.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TakeoverTimeline {
+    /// When the primary crashed.
+    pub crashed_at: VirtualInstant,
+    /// The last heartbeat the backup received before the crash.
+    pub last_heartbeat_at: VirtualInstant,
+    /// When the backup's failure detector fired.
+    pub detected_at: VirtualInstant,
+    /// When the successor view was installed.
+    pub view_installed_at: VirtualInstant,
+    /// When the promoted backup finished recovery and began serving.
+    pub serving_at: VirtualInstant,
+}
+
+impl TakeoverTimeline {
+    /// Total unavailability: crash to serving.
+    pub fn outage(&self) -> VirtualDuration {
+        self.serving_at.saturating_duration_since(self.crashed_at)
+    }
+}
+
+/// Computes a takeover timeline for a two-node cluster.
+///
+/// Heartbeats are emitted on schedule and arrive one `delivery_latency`
+/// later; beats scheduled after the crash never arrive. Detection happens
+/// at the monitor deadline, view installation is immediate (a local
+/// computation in a two-node cluster), and serving begins after
+/// `recovery` (the measured recovery work of the engine version in use).
+///
+/// # Examples
+///
+/// ```
+/// use dsnrep_cluster::{takeover_timeline, HeartbeatConfig, NodeId, ViewManager};
+/// use dsnrep_simcore::{VirtualDuration, VirtualInstant};
+///
+/// let mut views = ViewManager::new(NodeId::new(0), vec![NodeId::new(1)],
+///                                  VirtualInstant::EPOCH);
+/// let crash = VirtualInstant::EPOCH + VirtualDuration::from_millis(10);
+/// let timeline = takeover_timeline(
+///     HeartbeatConfig::default(),
+///     VirtualDuration::from_micros(3),   // SAN latency
+///     crash,
+///     VirtualDuration::from_millis(2),   // engine recovery time
+///     &mut views,
+/// ).expect("a backup exists");
+/// assert!(timeline.outage() >= VirtualDuration::from_millis(3));
+/// assert_eq!(views.current().primary(), NodeId::new(1));
+/// ```
+///
+/// # Errors
+///
+/// Propagates [`ViewError`](crate::ViewError) if no successor exists.
+pub fn takeover_timeline(
+    config: HeartbeatConfig,
+    delivery_latency: VirtualDuration,
+    crashed_at: VirtualInstant,
+    recovery: VirtualDuration,
+    views: &mut ViewManager,
+) -> Result<TakeoverTimeline, crate::ViewError> {
+    let primary = views.current().primary();
+    let start = views.current().installed_at();
+    let mut schedule = HeartbeatSchedule::new(config, start);
+    let mut monitor = HeartbeatMonitor::new(config, start);
+    // Deliver every heartbeat sent strictly before the crash.
+    let mut last_heartbeat_at = start;
+    while schedule.next_due() < crashed_at {
+        let sent = schedule.next_due();
+        last_heartbeat_at = sent + delivery_latency;
+        monitor.observe(last_heartbeat_at);
+        schedule.emitted(sent);
+    }
+    let detected_at = monitor.deadline();
+    let view_installed_at = detected_at;
+    views.fail(primary, view_installed_at)?;
+    Ok(TakeoverTimeline {
+        crashed_at,
+        last_heartbeat_at,
+        detected_at,
+        view_installed_at,
+        serving_at: view_installed_at + recovery,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::membership::NodeId;
+
+    fn two_nodes() -> ViewManager {
+        ViewManager::new(NodeId::new(0), vec![NodeId::new(1)], VirtualInstant::EPOCH)
+    }
+
+    #[test]
+    fn detection_happens_within_the_configured_window() {
+        let config = HeartbeatConfig {
+            period: VirtualDuration::from_micros(100),
+            misses: 3,
+        };
+        let mut views = two_nodes();
+        let crash = VirtualInstant::EPOCH + VirtualDuration::from_millis(5);
+        let t = takeover_timeline(
+            config,
+            VirtualDuration::from_micros(3),
+            crash,
+            VirtualDuration::ZERO,
+            &mut views,
+        )
+        .unwrap();
+        assert!(t.detected_at > crash);
+        // Worst case: one period until the next (missed) beat, plus the
+        // miss budget.
+        let worst =
+            crash + config.period * u64::from(config.misses + 1) + VirtualDuration::from_micros(3);
+        assert!(t.detected_at <= worst, "{t:?}");
+    }
+
+    #[test]
+    fn outage_includes_recovery() {
+        let mut views = two_nodes();
+        let crash = VirtualInstant::EPOCH + VirtualDuration::from_millis(50);
+        let recovery = VirtualDuration::from_millis(7);
+        let t = takeover_timeline(
+            HeartbeatConfig::default(),
+            VirtualDuration::from_micros(3),
+            crash,
+            recovery,
+            &mut views,
+        )
+        .unwrap();
+        assert_eq!(t.serving_at, t.view_installed_at + recovery);
+        assert!(t.outage() >= recovery);
+        assert_eq!(views.current().primary(), NodeId::new(1));
+        assert_eq!(views.current().epoch(), 2);
+    }
+
+    #[test]
+    fn crash_before_first_heartbeat_still_detects() {
+        let mut views = two_nodes();
+        let crash = VirtualInstant::EPOCH + VirtualDuration::from_nanos(1);
+        let t = takeover_timeline(
+            HeartbeatConfig::default(),
+            VirtualDuration::from_micros(3),
+            crash,
+            VirtualDuration::ZERO,
+            &mut views,
+        )
+        .unwrap();
+        assert!(t.detected_at > crash);
+        assert_eq!(t.last_heartbeat_at, VirtualInstant::EPOCH);
+    }
+
+    #[test]
+    fn single_node_cluster_cannot_fail_over() {
+        let mut views = ViewManager::new(NodeId::new(0), vec![], VirtualInstant::EPOCH);
+        let err = takeover_timeline(
+            HeartbeatConfig::default(),
+            VirtualDuration::from_micros(3),
+            VirtualInstant::from_picos(1),
+            VirtualDuration::ZERO,
+            &mut views,
+        )
+        .unwrap_err();
+        assert_eq!(err, crate::ViewError::NoSuccessor);
+    }
+}

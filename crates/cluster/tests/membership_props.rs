@@ -1,0 +1,64 @@
+//! Property tests: view transitions keep exactly one primary and a
+//! monotone epoch under arbitrary failure/join sequences.
+
+use dsnrep_cluster::{NodeId, Role, ViewManager};
+use dsnrep_simcore::VirtualInstant;
+use proptest::prelude::*;
+
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    Fail(u8),
+    Join(u8),
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (0u8..6).prop_map(Event::Fail),
+        (0u8..6).prop_map(Event::Join),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn views_stay_consistent(events in prop::collection::vec(event_strategy(), 1..60)) {
+        let mut views = ViewManager::new(
+            NodeId::new(0),
+            vec![NodeId::new(1), NodeId::new(2)],
+            VirtualInstant::EPOCH,
+        );
+        let mut epoch = views.current().epoch();
+        let mut t = 0u64;
+        for event in events {
+            t += 1;
+            let at = VirtualInstant::from_picos(t);
+            match event {
+                Event::Fail(n) => {
+                    // May legitimately fail (unknown node / no successor);
+                    // the view must be unchanged in that case.
+                    let before = views.current().clone();
+                    if views.fail(NodeId::new(n), at).is_err() {
+                        prop_assert_eq!(views.current(), &before);
+                    }
+                }
+                Event::Join(n) => {
+                    views.join(NodeId::new(n), at);
+                }
+            }
+            let view = views.current();
+            // Epoch is monotone.
+            prop_assert!(view.epoch() >= epoch);
+            epoch = view.epoch();
+            // Exactly one primary, never also a backup.
+            prop_assert!(!view.backups().contains(&view.primary()));
+            // No duplicate backups.
+            let mut b = view.backups().to_vec();
+            b.sort();
+            b.dedup();
+            prop_assert_eq!(b.len(), view.backups().len());
+            // Roles are consistent.
+            prop_assert_eq!(view.role_of(view.primary()), Some(Role::Primary));
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Arena consistency auditing — an `fsck` for the engine layouts.
+//!
+//! Recovery code is trusting by design (it runs on the failure path);
+//! [`audit`] is the adversarial counterpart: it walks an arena's persistent
+//! structures and verifies every invariant the version's recovery relies
+//! on. Test suites run it after recoveries and failovers; operators of a
+//! real deployment would run it before promoting a replica of doubtful
+//! provenance.
+
+use core::fmt;
+use std::error::Error;
+
+use dsnrep_rio::{Arena, FreeListHeap, Layout, LayoutError, RawMem, RegionId, RootSlot};
+use dsnrep_simcore::Region;
+
+use crate::engine::VersionTag;
+
+/// A violated invariant found by [`audit`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditViolation(String);
+
+impl AuditViolation {
+    fn new(msg: impl Into<String>) -> Self {
+        AuditViolation(msg.into())
+    }
+
+    /// The violation description.
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "audit violation: {}", self.0)
+    }
+}
+
+impl Error for AuditViolation {}
+
+impl From<LayoutError> for AuditViolation {
+    fn from(e: LayoutError) -> Self {
+        AuditViolation(format!("layout unreadable: {e}"))
+    }
+}
+
+/// What a clean audit observed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditReport {
+    /// The audited version.
+    pub version: VersionTag,
+    /// Committed transaction count read from the roots.
+    pub committed_seq: u64,
+    /// Whether a transaction was in flight (structures present that
+    /// recovery would roll back or forward).
+    pub in_flight: bool,
+}
+
+/// Audits an idle or crashed arena of `version`'s layout.
+///
+/// # Errors
+///
+/// Returns the first [`AuditViolation`] found. A clean pass after
+/// `recover()` is an engine invariant the test suites enforce.
+///
+/// # Examples
+///
+/// ```
+/// use dsnrep_core::{audit, build_engine, EngineConfig, Machine, VersionTag};
+/// use dsnrep_simcore::CostModel;
+///
+/// let config = EngineConfig::for_db(1 << 16);
+/// let arena = dsnrep_core::shared_arena(dsnrep_core::arena_len(
+///     VersionTag::ImprovedLog, &config));
+/// let mut m = Machine::standalone(CostModel::alpha_21164a(), arena);
+/// let _engine = build_engine(VersionTag::ImprovedLog, &mut m, &config);
+/// let report = audit(VersionTag::ImprovedLog, &m.arena().borrow())?;
+/// assert_eq!(report.committed_seq, 0);
+/// # Ok::<(), dsnrep_core::AuditViolation>(())
+/// ```
+pub fn audit(version: VersionTag, arena: &Arena) -> Result<AuditReport, AuditViolation> {
+    let layout = Layout::read(arena)?;
+    check_regions_disjoint(&layout)?;
+    match version {
+        VersionTag::Vista => audit_vista(arena, &layout),
+        VersionTag::MirrorCopy | VersionTag::MirrorDiff => audit_mirror(version, arena, &layout),
+        VersionTag::ImprovedLog => audit_log(arena, &layout),
+    }
+}
+
+fn check_regions_disjoint(layout: &Layout) -> Result<(), AuditViolation> {
+    let regions: Vec<(RegionId, Region)> = layout.iter().collect();
+    for (i, (id_a, a)) in regions.iter().enumerate() {
+        for (id_b, b) in &regions[i + 1..] {
+            if a.overlaps(*b) {
+                return Err(AuditViolation::new(format!(
+                    "regions {id_a} and {id_b} overlap: {a} vs {b}"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn expect_region(layout: &Layout, id: RegionId) -> Result<Region, AuditViolation> {
+    layout
+        .region(id)
+        .ok_or_else(|| AuditViolation::new(format!("layout is missing the {id} region")))
+}
+
+fn audit_vista(arena: &Arena, layout: &Layout) -> Result<AuditReport, AuditViolation> {
+    let heap_region = expect_region(layout, RegionId::Heap)?;
+    let db = expect_region(layout, RegionId::Database)?;
+    // The heap's boundary tags and free list must be internally consistent.
+    let mut probe = arena.clone();
+    let mut raw = RawMem::new(&mut probe);
+    let heap = FreeListHeap::attach(heap_region);
+    heap.check_consistency(&mut raw)
+        .map_err(|e| AuditViolation::new(format!("recoverable heap: {e}")))?;
+    // The undo list, if present, must be fully well-formed.
+    let committed = arena.read_u64(Layout::root_addr(RootSlot::TxnSeq));
+    let mut node = arena.read_u64(Layout::root_addr(RootSlot::UndoHead));
+    let mut hops = 0u32;
+    let in_flight = node != 0;
+    while node != 0 {
+        let rec = dsnrep_simcore::Addr::new(node);
+        if !heap_region.contains_range(rec, 40) {
+            return Err(AuditViolation::new(format!(
+                "undo record {rec} outside the heap"
+            )));
+        }
+        let base = dsnrep_simcore::Addr::new(arena.read_u64(rec + 16));
+        let len = arena.read_u64(rec + 24);
+        let data = dsnrep_simcore::Addr::new(arena.read_u64(rec + 32));
+        if !db.contains_range(base, len) {
+            return Err(AuditViolation::new(format!(
+                "undo record {rec} covers {base}+{len} outside the database"
+            )));
+        }
+        if !heap_region.contains_range(data, len) {
+            return Err(AuditViolation::new(format!(
+                "undo record {rec} data pointer {data} outside the heap"
+            )));
+        }
+        node = arena.read_u64(rec);
+        hops += 1;
+        if hops > 1_000_000 {
+            return Err(AuditViolation::new("undo list cycle"));
+        }
+    }
+    Ok(AuditReport {
+        version: VersionTag::Vista,
+        committed_seq: committed,
+        in_flight,
+    })
+}
+
+fn audit_mirror(
+    version: VersionTag,
+    arena: &Arena,
+    layout: &Layout,
+) -> Result<AuditReport, AuditViolation> {
+    let db = expect_region(layout, RegionId::Database)?;
+    let mirror = expect_region(layout, RegionId::Mirror)?;
+    let ranges = expect_region(layout, RegionId::Ranges)?;
+    if mirror.len() != db.len() {
+        return Err(AuditViolation::new(format!(
+            "mirror is {} bytes but the database is {}",
+            mirror.len(),
+            db.len()
+        )));
+    }
+    let committed = arena.read_u64(Layout::root_addr(RootSlot::TxnSeq));
+    let count = arena.read_u64(ranges.start());
+    let phase_word = arena.read_u64(ranges.start() + 8);
+    let phase = phase_word & 3;
+    if phase > 2 {
+        return Err(AuditViolation::new(format!(
+            "phase word has invalid phase {phase}"
+        )));
+    }
+    let capacity = (ranges.len() - 16) / 16;
+    if count > capacity {
+        return Err(AuditViolation::new(format!(
+            "range count {count} exceeds capacity {capacity}"
+        )));
+    }
+    // Every recorded range lies within the database.
+    for i in 0..count {
+        let base = dsnrep_simcore::Addr::new(arena.read_u64(ranges.start() + 16 + i * 16));
+        let len = arena.read_u64(ranges.start() + 16 + i * 16 + 8);
+        if !db.contains_range(base, len) {
+            return Err(AuditViolation::new(format!(
+                "set-range record {i} covers {base}+{len} outside the database"
+            )));
+        }
+    }
+    let in_flight = phase != 0 || count > 0;
+    // At a quiescent boundary the mirror equals the database byte for byte.
+    if !in_flight {
+        let mut off = 0u64;
+        while off < db.len() {
+            let n = (db.len() - off).min(64 * 1024) as usize;
+            if arena.read_vec(db.start() + off, n) != arena.read_vec(mirror.start() + off, n) {
+                return Err(AuditViolation::new(format!(
+                    "mirror diverges from the database near offset {off} while idle"
+                )));
+            }
+            off += n as u64;
+        }
+    }
+    Ok(AuditReport {
+        version,
+        committed_seq: committed,
+        in_flight,
+    })
+}
+
+fn audit_log(arena: &Arena, layout: &Layout) -> Result<AuditReport, AuditViolation> {
+    let db = expect_region(layout, RegionId::Database)?;
+    let log = expect_region(layout, RegionId::UndoLog)?;
+    let state = arena.read_u64(Layout::root_addr(RootSlot::LogPtr));
+    let committed = state >> 32;
+    // Scan the chain of the would-be in-flight transaction exactly as
+    // recovery does, verifying bounds as we go.
+    let expect_seq = ((committed + 1) & 0xFF) as u8;
+    let mut off = 0u64;
+    let mut index = 0u8;
+    let mut in_flight = false;
+    while off + 8 <= log.len() {
+        let word = arena.read_u64(log.start() + off);
+        let base_off = word & 0xFFFF_FFFF;
+        let len = (word >> 32) & 0xFFFF;
+        let seq = ((word >> 48) & 0xFF) as u8;
+        let idx = ((word >> 56) & 0xFF) as u8;
+        if seq != expect_seq || idx != index || len == 0 {
+            break;
+        }
+        let base = db.start() + base_off;
+        if !db.contains_range(base, len) {
+            return Err(AuditViolation::new(format!(
+                "log record {index} covers {base}+{len} outside the database"
+            )));
+        }
+        let size = 8 + len.div_ceil(8) * 8;
+        if off + size > log.len() {
+            return Err(AuditViolation::new(format!(
+                "log record {index} overruns the log region"
+            )));
+        }
+        in_flight = true;
+        off += size;
+        index = index.wrapping_add(1);
+    }
+    Ok(AuditReport {
+        version: VersionTag::ImprovedLog,
+        committed_seq: committed,
+        in_flight,
+    })
+}

@@ -1,0 +1,56 @@
+//! Engine sizing configuration.
+
+use dsnrep_simcore::MIB;
+
+/// Sizes for the persistent structures an engine lays out in its arena.
+///
+/// This is passive configuration data; fields are public.
+///
+/// # Examples
+///
+/// ```
+/// use dsnrep_core::EngineConfig;
+///
+/// let config = EngineConfig::for_db(50 * 1024 * 1024); // the paper's 50 MB
+/// assert_eq!(config.db_len, 50 * 1024 * 1024);
+/// assert!(config.undo_capacity >= 1024 * 1024);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Database region length in bytes.
+    pub db_len: u64,
+    /// Capacity of the set-range record array (Versions 1 and 2), and the
+    /// sanity cap on ranges per transaction everywhere else.
+    pub max_ranges: usize,
+    /// Bytes for the undo structures: the recoverable heap (Version 0) or
+    /// the inline undo log (Version 3).
+    pub undo_capacity: u64,
+    /// Bytes for the redo ring (active backup). Must be a power of two.
+    pub ring_capacity: u64,
+}
+
+impl EngineConfig {
+    /// Sensible defaults for a database of `db_len` bytes: 4 MB of undo
+    /// space, a 128 KB redo ring (small enough to stay cache-resident on
+    /// both ends), 4096 set-range records.
+    pub fn for_db(db_len: u64) -> Self {
+        EngineConfig {
+            db_len,
+            max_ranges: 4096,
+            undo_capacity: 4 * MIB,
+            ring_capacity: 128 * 1024,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = EngineConfig::for_db(1 << 20);
+        assert!(c.ring_capacity.is_power_of_two());
+        assert!(c.max_ranges > 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! The transaction API shared by all four engine versions.
+//!
+//! The API is RVM's (and Vista's): `begin_transaction`, `set_range`,
+//! `commit_transaction`, `abort_transaction`, with writes done in place
+//! after `set_range` declares the region they may touch. Concurrency control
+//! is a separate layer (the paper assumes a single transaction stream per
+//! engine), so an engine holds at most one active transaction.
+//!
+//! Unlike Vista — where the application stores directly into mapped memory —
+//! writes go through [`Engine::write`] so the simulation can charge cache
+//! and SAN costs; the engine also *validates* that each write is covered by
+//! a `set_range`, turning the classic silent-corruption bug into a
+//! [`TxError::UnprotectedWrite`].
+
+use core::fmt;
+
+use dsnrep_simcore::{Addr, Region};
+
+use crate::error::TxError;
+use crate::machine::Machine;
+
+/// Which of the paper's designs an engine implements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VersionTag {
+    /// Version 0: the unmodified Vista library (heap-allocated undo list).
+    Vista,
+    /// Version 1: mirroring by copying.
+    MirrorCopy,
+    /// Version 2: mirroring by diffing.
+    MirrorDiff,
+    /// Version 3: the improved contiguous undo log.
+    ImprovedLog,
+}
+
+impl VersionTag {
+    /// All versions, in the paper's order.
+    pub const ALL: [VersionTag; 4] = [
+        VersionTag::Vista,
+        VersionTag::MirrorCopy,
+        VersionTag::MirrorDiff,
+        VersionTag::ImprovedLog,
+    ];
+
+    /// The paper's short label ("Version 0 (Vista)" etc.).
+    pub fn paper_label(self) -> &'static str {
+        match self {
+            VersionTag::Vista => "Version 0 (Vista)",
+            VersionTag::MirrorCopy => "Version 1 (Mirror by Copy)",
+            VersionTag::MirrorDiff => "Version 2 (Mirror by Diff)",
+            VersionTag::ImprovedLog => "Version 3 (Improved Log)",
+        }
+    }
+}
+
+impl fmt::Display for VersionTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_label())
+    }
+}
+
+/// What a recovery pass found and did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// `true` if an interrupted transaction was rolled back.
+    pub rolled_back: bool,
+    /// `true` if an interrupted commit was rolled forward
+    /// (mirroring versions only).
+    pub rolled_forward: bool,
+    /// Bytes of database state restored from undo/mirror data.
+    pub bytes_restored: u64,
+    /// The committed-transaction sequence number after recovery.
+    pub committed_seq: u64,
+}
+
+/// A Vista-style transactional engine over a [`Machine`].
+///
+/// All four of the paper's versions implement this trait, which lets the
+/// replication drivers, the workloads and the benchmarks treat them
+/// uniformly (`Box<dyn Engine>` is used throughout).
+pub trait Engine: core::fmt::Debug {
+    /// Which design this engine implements.
+    fn version(&self) -> VersionTag;
+
+    /// The database region transactions operate on.
+    fn db_region(&self) -> Region;
+
+    /// The regions a passive backup maps write-through for this version:
+    /// everything for Version 0 (the transparent port of §3), header +
+    /// database + mirror for Versions 1/2 (the §5.1 optimization keeps the
+    /// set-range array local), header + log + database for Version 3.
+    fn replicated_regions(&self) -> Vec<Region>;
+
+    /// Starts a transaction.
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::TransactionActive`] if one is already running.
+    fn begin(&mut self, m: &mut Machine) -> Result<(), TxError>;
+
+    /// Declares that the current transaction may modify `len` bytes at
+    /// `base` (which must lie inside the database region).
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::NoActiveTransaction`], [`TxError::RangeOutOfDatabase`],
+    /// or a version-specific capacity error.
+    fn set_range(&mut self, m: &mut Machine, base: Addr, len: u64) -> Result<(), TxError>;
+
+    /// Writes `bytes` at `base`, in place, within a declared range.
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::NoActiveTransaction`] or [`TxError::UnprotectedWrite`].
+    fn write(&mut self, m: &mut Machine, base: Addr, bytes: &[u8]) -> Result<(), TxError>;
+
+    /// Reads `buf.len()` bytes at `base` (allowed inside or outside a
+    /// transaction; reads need no `set_range`).
+    fn read(&mut self, m: &mut Machine, base: Addr, buf: &mut [u8]);
+
+    /// Commits the current transaction (1-safe: returns as soon as the
+    /// commit is durable locally).
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::NoActiveTransaction`].
+    fn commit(&mut self, m: &mut Machine) -> Result<(), TxError>;
+
+    /// Aborts the current transaction, restoring every declared range.
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::NoActiveTransaction`].
+    fn abort(&mut self, m: &mut Machine) -> Result<(), TxError>;
+
+    /// Runs crash recovery against the (surviving) arena: rolls back an
+    /// interrupted transaction, or — for the mirroring versions — rolls an
+    /// interrupted commit forward. Idempotent.
+    fn recover(&mut self, m: &mut Machine) -> RecoveryReport;
+
+    /// Number of committed transactions (the persistent sequence number).
+    fn committed_seq(&self, m: &mut Machine) -> u64;
+}
+
+/// Convenience: run `body` inside a transaction and commit it.
+///
+/// # Errors
+///
+/// Propagates any error from `begin`, the body, or `commit`. The
+/// transaction is *not* automatically aborted if the body fails — callers
+/// that want rollback semantics call [`Engine::abort`] themselves.
+///
+/// # Examples
+///
+/// See the crate-level documentation of [`crate`].
+pub fn run_transaction<E: Engine + ?Sized>(
+    engine: &mut E,
+    m: &mut Machine,
+    body: impl FnOnce(&mut E, &mut Machine) -> Result<(), TxError>,
+) -> Result<(), TxError> {
+    engine.begin(m)?;
+    body(engine, m)?;
+    engine.commit(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_labels_match_paper() {
+        assert_eq!(VersionTag::Vista.paper_label(), "Version 0 (Vista)");
+        assert_eq!(
+            VersionTag::ImprovedLog.to_string(),
+            "Version 3 (Improved Log)"
+        );
+        assert_eq!(VersionTag::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,505 @@
+//! The simulated node: arena + cache + clock + optional write doubling.
+//!
+//! Every accounted memory access an engine makes goes through a [`Machine`]:
+//!
+//! 1. the bytes are applied to the local [`Arena`],
+//! 2. the [`DirectMappedCache`] model charges hit/miss time to the node's
+//!    [`Clock`], and
+//! 3. if the address falls in a *replicated* region and a backup port is
+//!    attached, the store is doubled into the SAN model (which charges issue
+//!    costs and stalls, and delivers the bytes to the backup arena).
+//!
+//! This is the write-doubling discipline of the paper's §2.3: loopback is
+//! disabled, so shared data is written twice — once to the ordinary mapping
+//! and once to I/O space.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use dsnrep_mcsim::TxPort;
+use dsnrep_rio::{AllocMem, Arena};
+use dsnrep_simcore::{
+    Addr, CacheOutcome, Clock, CostModel, DirectMappedCache, Region, StoreSink, TrafficClass,
+    VirtualDuration, VirtualInstant,
+};
+
+/// When a commit may return (Gray & Reuter's taxonomy, paper §2.1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Durability {
+    /// 1-safe: return as soon as the commit is durable locally. A crash in
+    /// the short window before delivery can lose committed transactions
+    /// (the paper's design).
+    #[default]
+    OneSafe,
+    /// 2-safe: additionally wait until the commit record is delivered to
+    /// the backup. No committed transaction can be lost, at the price of
+    /// one SAN latency per commit.
+    TwoSafe,
+}
+
+/// A snapshot of a machine's execution counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Current virtual time.
+    pub now: VirtualInstant,
+    /// Time spent stalled on shared resources (posted-write window, redo
+    /// ring, 2-safe waits).
+    pub stalled: VirtualDuration,
+    /// Cumulative cache hits.
+    pub cache_hits: u64,
+    /// Cumulative cache misses.
+    pub cache_misses: u64,
+}
+
+impl MachineStats {
+    /// Cache hit rate in [0, 1]; 0 when no accesses happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// A simulated processor + recoverable memory + (optionally) a SAN port.
+///
+/// # Examples
+///
+/// ```
+/// use std::cell::RefCell;
+/// use std::rc::Rc;
+/// use dsnrep_core::Machine;
+/// use dsnrep_rio::Arena;
+/// use dsnrep_simcore::{Addr, CostModel, TrafficClass};
+///
+/// let arena = Rc::new(RefCell::new(Arena::new(1 << 16)));
+/// let mut m = Machine::standalone(CostModel::alpha_21164a(), arena);
+/// m.write(Addr::new(64), &[1, 2, 3], TrafficClass::Modified);
+/// let mut buf = [0u8; 3];
+/// m.read(Addr::new(64), &mut buf);
+/// assert_eq!(buf, [1, 2, 3]);
+/// assert!(m.now().as_picos() > 0); // accesses cost virtual time
+/// ```
+pub struct Machine {
+    costs: CostModel,
+    cache: DirectMappedCache,
+    clock: Clock,
+    arena: Rc<RefCell<Arena>>,
+    port: Option<TxPort>,
+    replicated: Vec<Region>,
+    durability: Durability,
+    /// Fault injection: remaining accounted stores before the simulated
+    /// processor halts (None = healthy). After it reaches zero every
+    /// subsequent store is silently dropped — exactly what a crash at that
+    /// store boundary looks like to recoverable memory.
+    store_budget: Option<u64>,
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("now", &self.clock.now())
+            .field("replicated_regions", &self.replicated.len())
+            .field("has_port", &self.port.is_some())
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Creates a standalone machine (no backup).
+    pub fn standalone(costs: CostModel, arena: Rc<RefCell<Arena>>) -> Self {
+        let cache = DirectMappedCache::new(costs.cache_capacity, costs.cache_line);
+        Machine {
+            costs,
+            cache,
+            clock: Clock::new(),
+            arena,
+            port: None,
+            replicated: Vec::new(),
+            durability: Durability::OneSafe,
+            store_budget: None,
+        }
+    }
+
+    /// Creates a machine whose replicated regions are doubled through
+    /// `port`.
+    pub fn with_port(costs: CostModel, arena: Rc<RefCell<Arena>>, port: TxPort) -> Self {
+        let mut m = Machine::standalone(costs, arena);
+        m.port = Some(port);
+        m
+    }
+
+    /// Attaches a SAN port after construction (e.g. once the backup arena
+    /// has been cloned from the loaded primary).
+    pub fn attach_port(&mut self, port: TxPort) {
+        self.port = Some(port);
+    }
+
+    /// Marks `region` as write-through mapped: stores to it are doubled to
+    /// the backup (if a port is attached).
+    pub fn replicate(&mut self, region: Region) {
+        self.replicated.push(region);
+    }
+
+    /// Removes every write-through mapping.
+    pub fn clear_replication(&mut self) {
+        self.replicated.clear();
+    }
+
+    /// The cost model in effect.
+    pub fn costs(&self) -> &CostModel {
+        &self.costs
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> VirtualInstant {
+        self.clock.now()
+    }
+
+    /// The node's clock (mutable access is used by drivers that stall the
+    /// node on external resources, e.g. a full redo ring).
+    pub fn clock_mut(&mut self) -> &mut Clock {
+        &mut self.clock
+    }
+
+    /// The node's arena handle.
+    pub fn arena(&self) -> &Rc<RefCell<Arena>> {
+        &self.arena
+    }
+
+    /// The SAN port, if any.
+    pub fn port_mut(&mut self) -> Option<&mut TxPort> {
+        self.port.as_mut()
+    }
+
+    /// Charges `d` of CPU work.
+    #[inline]
+    pub fn charge(&mut self, d: VirtualDuration) {
+        self.clock.advance(d);
+    }
+
+    #[inline]
+    fn charge_cache(&mut self, addr: Addr, len: u64) {
+        let out = self.cache.touch(addr, len);
+        self.clock
+            .advance(self.costs.cache_hit * out.hits + self.costs.cache_miss * out.misses);
+    }
+
+    #[inline]
+    fn is_replicated(&self, addr: Addr) -> bool {
+        self.replicated.iter().any(|r| r.contains(addr))
+    }
+
+    /// Arms fault injection: when `stores` more accounted stores have
+    /// executed, the next store **panics** with a distinctive message —
+    /// the simulated processor halts at that exact store boundary
+    /// (including mid-commit), executing nothing further, just like a real
+    /// crash. Catch the unwind (the test harness does), then call
+    /// [`Machine::crash`] and run recovery. Tests only.
+    ///
+    /// # Panics
+    ///
+    /// The (`stores + 1`)-th accounted store after arming panics.
+    pub fn inject_crash_after_stores(&mut self, stores: u64) {
+        self.store_budget = Some(stores);
+    }
+
+    /// Whether the injected fault has fired.
+    pub fn has_halted(&self) -> bool {
+        self.store_budget == Some(0)
+    }
+
+    /// Disarms fault injection.
+    pub fn clear_fault(&mut self) {
+        self.store_budget = None;
+    }
+
+    #[inline]
+    fn consume_store_budget(&mut self) {
+        match &mut self.store_budget {
+            None => {}
+            Some(0) => panic!("dsnrep fault injection: simulated processor halt"),
+            Some(n) => *n -= 1,
+        }
+    }
+
+    /// An accounted store: local write + cache charge + doubling.
+    pub fn write(&mut self, addr: Addr, bytes: &[u8], class: TrafficClass) {
+        self.consume_store_budget();
+        self.charge_cache(addr, bytes.len() as u64);
+        self.arena.borrow_mut().write(addr, bytes);
+        if self.is_replicated(addr) {
+            if let Some(port) = self.port.as_mut() {
+                port.store(&mut self.clock, addr, bytes, class);
+            }
+        }
+    }
+
+    /// An accounted store whose doubled words do not merge in the write
+    /// buffers: use for word-at-a-time copy loops (mirror propagation),
+    /// whose interleaved loads defeat the 21164's store merging. Locally it
+    /// behaves exactly like [`Machine::write`].
+    pub fn write_scattered(&mut self, addr: Addr, bytes: &[u8], class: TrafficClass) {
+        self.consume_store_budget();
+        self.charge_cache(addr, bytes.len() as u64);
+        self.arena.borrow_mut().write(addr, bytes);
+        if self.is_replicated(addr) {
+            if let Some(port) = self.port.as_mut() {
+                port.store_unmerged(&mut self.clock, addr, bytes, class);
+            }
+        }
+    }
+
+    /// An accounted load.
+    pub fn read(&mut self, addr: Addr, buf: &mut [u8]) {
+        self.charge_cache(addr, buf.len() as u64);
+        self.arena.borrow().read_into(addr, buf);
+    }
+
+    /// An accounted load into a fresh vector.
+    pub fn read_vec(&mut self, addr: Addr, len: usize) -> Vec<u8> {
+        let mut v = vec![0u8; len];
+        self.read(addr, &mut v);
+        v
+    }
+
+    /// Accounted `u64` store.
+    pub fn write_u64(&mut self, addr: Addr, value: u64, class: TrafficClass) {
+        self.write(addr, &value.to_le_bytes(), class);
+    }
+
+    /// Accounted `u64` load.
+    pub fn read_u64(&mut self, addr: Addr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Accounted `u32` store.
+    pub fn write_u32(&mut self, addr: Addr, value: u32, class: TrafficClass) {
+        self.write(addr, &value.to_le_bytes(), class);
+    }
+
+    /// Accounted `u32` load.
+    pub fn read_u32(&mut self, addr: Addr) -> u32 {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// A write memory barrier: flushes the SAN write buffers so everything
+    /// stored so far is ordered before everything stored later.
+    pub fn barrier(&mut self) {
+        if let Some(port) = self.port.as_mut() {
+            port.barrier(&mut self.clock);
+        }
+    }
+
+    /// The configured commit durability.
+    pub fn durability(&self) -> Durability {
+        self.durability
+    }
+
+    /// Selects 1-safe (the default, the paper's design) or 2-safe commits.
+    pub fn set_durability(&mut self, durability: Durability) {
+        self.durability = durability;
+    }
+
+    /// The 2-safe wait: flushes the write buffers and stalls until every
+    /// packet sent so far — including the commit record — has been
+    /// delivered to the backup. Engines call this at the end of commit when
+    /// [`Durability::TwoSafe`] is configured; it is a no-op without a port.
+    pub fn wait_delivered(&mut self) {
+        if let Some(port) = self.port.as_mut() {
+            port.barrier(&mut self.clock);
+            let delivered = port.last_delivered();
+            self.clock.advance_to(delivered);
+            port.deliver_up_to(delivered);
+        }
+    }
+
+    /// Execution counters.
+    pub fn stats(&self) -> MachineStats {
+        let cache = self.cache.stats();
+        MachineStats {
+            now: self.clock.now(),
+            stalled: self.clock.stalled(),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+        }
+    }
+
+    /// The cache model's cumulative counters.
+    pub fn cache_stats(&self) -> CacheOutcome {
+        self.cache.stats()
+    }
+
+    /// An unaccounted, undoubled store. Only for initial database load and
+    /// test setup — never on a measured path.
+    pub fn poke(&mut self, addr: Addr, bytes: &[u8]) {
+        self.arena.borrow_mut().write(addr, bytes);
+    }
+
+    /// An unaccounted load (oracles, assertions).
+    pub fn peek_vec(&self, addr: Addr, len: usize) -> Vec<u8> {
+        self.arena.borrow().read_vec(addr, len)
+    }
+
+    /// Simulates a crash at the current instant: SAN packets not yet
+    /// delivered are lost, dirty write buffers are dropped, and the cache is
+    /// forgotten. The arena (recoverable memory) survives. Returns the crash
+    /// instant.
+    ///
+    /// After `crash`, the machine models the *rebooted* node: the clock
+    /// keeps running (reboot time is not modelled) and the cache is cold.
+    pub fn crash(&mut self) -> VirtualInstant {
+        let at = self.clock.now();
+        if let Some(port) = self.port.as_mut() {
+            port.crash_cut(at);
+        }
+        self.cache.flush();
+        at
+    }
+
+    /// Flushes and delivers everything in flight (graceful quiesce).
+    pub fn quiesce(&mut self) {
+        if let Some(port) = self.port.as_mut() {
+            port.quiesce(&mut self.clock);
+        }
+    }
+
+    /// A view of this machine that implements [`AllocMem`], charging every
+    /// allocator access as metadata traffic.
+    pub fn meta_mem(&mut self) -> MetaMem<'_> {
+        MetaMem { machine: self }
+    }
+}
+
+/// Adapter: the recoverable heap's memory accesses, accounted as metadata.
+#[derive(Debug)]
+pub struct MetaMem<'a> {
+    machine: &'a mut Machine,
+}
+
+impl AllocMem for MetaMem<'_> {
+    fn read_u64(&mut self, addr: Addr) -> u64 {
+        self.machine.read_u64(addr)
+    }
+
+    fn write_u64(&mut self, addr: Addr, value: u64) {
+        self.machine.write_u64(addr, value, TrafficClass::Meta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsnrep_mcsim::Link;
+
+    fn standalone() -> Machine {
+        let arena = Rc::new(RefCell::new(Arena::new(1 << 20)));
+        Machine::standalone(CostModel::alpha_21164a(), arena)
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut m = standalone();
+        m.write(Addr::new(128), b"abc", TrafficClass::Modified);
+        assert_eq!(m.read_vec(Addr::new(128), 3), b"abc");
+    }
+
+    #[test]
+    fn cache_makes_second_access_cheaper() {
+        let mut m = standalone();
+        let t0 = m.now();
+        m.read_vec(Addr::new(0), 64);
+        let cold = m.now().duration_since(t0);
+        let t1 = m.now();
+        m.read_vec(Addr::new(0), 64);
+        let warm = m.now().duration_since(t1);
+        assert!(cold > warm, "cold {cold} vs warm {warm}");
+    }
+
+    #[test]
+    fn poke_and_peek_are_free() {
+        let mut m = standalone();
+        m.poke(Addr::new(0), &[9; 100]);
+        assert_eq!(m.peek_vec(Addr::new(0), 100), vec![9; 100]);
+        assert_eq!(m.now(), VirtualInstant::EPOCH);
+    }
+
+    fn with_backup() -> (Machine, Rc<RefCell<Arena>>) {
+        let costs = CostModel::alpha_21164a();
+        let arena = Rc::new(RefCell::new(Arena::new(1 << 20)));
+        let backup = Rc::new(RefCell::new(Arena::new(1 << 20)));
+        let link = Rc::new(RefCell::new(Link::new(&costs)));
+        let port = TxPort::new(&costs, link, Rc::clone(&backup));
+        (Machine::with_port(costs, arena, port), backup)
+    }
+
+    #[test]
+    fn replicated_region_is_doubled() {
+        let (mut m, backup) = with_backup();
+        m.replicate(Region::new(Addr::new(0), 1024));
+        m.write(Addr::new(100), &[7; 8], TrafficClass::Undo);
+        m.quiesce();
+        assert_eq!(backup.borrow().read_vec(Addr::new(100), 8), vec![7; 8]);
+    }
+
+    #[test]
+    fn unreplicated_region_stays_local() {
+        let (mut m, backup) = with_backup();
+        m.replicate(Region::new(Addr::new(0), 64));
+        m.write(Addr::new(4096), &[7; 8], TrafficClass::Undo);
+        m.quiesce();
+        assert_eq!(backup.borrow().read_vec(Addr::new(4096), 8), vec![0; 8]);
+    }
+
+    #[test]
+    fn doubling_costs_more_than_local_write() {
+        let (mut m, _) = with_backup();
+        m.replicate(Region::new(Addr::new(0), 4096));
+        let mut local = standalone();
+        m.write(Addr::new(0), &[1; 64], TrafficClass::Modified);
+        local.write(Addr::new(0), &[1; 64], TrafficClass::Modified);
+        assert!(m.now() > local.now());
+    }
+
+    #[test]
+    fn crash_loses_inflight_doubled_bytes() {
+        let (mut m, backup) = with_backup();
+        m.replicate(Region::new(Addr::new(0), 4096));
+        m.write(Addr::new(0), &[3; 32], TrafficClass::Modified);
+        // Packet flushed (full buffer) but latency has not elapsed.
+        m.crash();
+        assert_eq!(backup.borrow().read_vec(Addr::new(0), 32), vec![0; 32]);
+        // Local arena survived.
+        assert_eq!(m.peek_vec(Addr::new(0), 32), vec![3; 32]);
+    }
+
+    #[test]
+    fn meta_mem_routes_alloc_traffic() {
+        let (mut m, backup) = with_backup();
+        m.replicate(Region::new(Addr::new(0), 4096));
+        {
+            let mut mm = m.meta_mem();
+            mm.write_u64(Addr::new(8), 0x1122_3344_5566_7788);
+            assert_eq!(mm.read_u64(Addr::new(8)), 0x1122_3344_5566_7788);
+        }
+        m.quiesce();
+        assert_eq!(
+            backup.borrow().read_u64(Addr::new(8)),
+            0x1122_3344_5566_7788
+        );
+    }
+
+    #[test]
+    fn barrier_without_port_is_a_no_op() {
+        let mut m = standalone();
+        m.barrier();
+        assert_eq!(m.now(), VirtualInstant::EPOCH);
+    }
+}

@@ -1,0 +1,272 @@
+//! The correctness oracle: a shadow copy of the database.
+//!
+//! A [`ShadowDb`] replays the same logical writes the engine under test
+//! receives, but with trivially correct semantics (pending writes apply at
+//! commit, vanish at abort). Recovery tests compare the recovered arena
+//! against the shadow:
+//!
+//! * a standalone crash must recover to exactly the shadow's committed
+//!   state;
+//! * a failover must recover to the committed state or — 1-safe — the state
+//!   one commit earlier ([`ShadowDb::prev_bytes`]);
+//! * the mirroring versions' torn-tail window is checkable byte-wise via
+//!   [`ShadowDb::last_txn_spans`].
+
+use dsnrep_rio::Arena;
+use dsnrep_simcore::{Addr, Region};
+
+/// A trivially correct reference database.
+///
+/// # Examples
+///
+/// ```
+/// use dsnrep_core::ShadowDb;
+/// use dsnrep_simcore::{Addr, Region};
+///
+/// let mut shadow = ShadowDb::new(Region::new(Addr::new(100), 16));
+/// shadow.begin();
+/// shadow.write(Addr::new(104), &[1, 2]);
+/// shadow.abort();
+/// assert_eq!(shadow.committed(), &[0u8; 16]);
+/// shadow.begin();
+/// shadow.write(Addr::new(104), &[1, 2]);
+/// shadow.commit();
+/// assert_eq!(&shadow.committed()[4..6], &[1, 2]);
+/// assert_eq!(shadow.seq(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShadowDb {
+    region: Region,
+    committed: Vec<u8>,
+    pending: Vec<(u64, Vec<u8>)>,
+    /// Undo for the most recent commit: (offset, old bytes).
+    last_undo: Vec<(u64, Vec<u8>)>,
+    /// Spans written by the most recent commit.
+    last_spans: Vec<(u64, u64)>,
+    active: bool,
+    seq: u64,
+}
+
+impl ShadowDb {
+    /// Creates a zero-filled shadow of `region`.
+    pub fn new(region: Region) -> Self {
+        ShadowDb {
+            region,
+            committed: vec![0; usize::try_from(region.len()).expect("shadow too large")],
+            pending: Vec::new(),
+            last_undo: Vec::new(),
+            last_spans: Vec::new(),
+            active: false,
+            seq: 0,
+        }
+    }
+
+    /// Seeds the initial (pre-measurement) state, outside any transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is active or the range is out of bounds.
+    pub fn load(&mut self, addr: Addr, bytes: &[u8]) {
+        assert!(!self.active, "load during a transaction");
+        let off = (addr - self.region.start()) as usize;
+        self.committed[off..off + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Starts a transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if one is already active.
+    pub fn begin(&mut self) {
+        assert!(!self.active, "shadow transaction already active");
+        self.active = true;
+        self.pending.clear();
+    }
+
+    /// Records a write of the active transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is active or the range is out of bounds.
+    pub fn write(&mut self, addr: Addr, bytes: &[u8]) {
+        assert!(self.active, "shadow write outside a transaction");
+        assert!(
+            self.region.contains_range(addr, bytes.len() as u64),
+            "shadow write out of bounds"
+        );
+        self.pending
+            .push((addr - self.region.start(), bytes.to_vec()));
+    }
+
+    /// Commits: pending writes become visible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is active.
+    pub fn commit(&mut self) {
+        assert!(self.active, "shadow commit outside a transaction");
+        self.last_undo.clear();
+        self.last_spans.clear();
+        for (off, bytes) in self.pending.drain(..) {
+            let off_usize = off as usize;
+            self.last_undo.push((
+                off,
+                self.committed[off_usize..off_usize + bytes.len()].to_vec(),
+            ));
+            self.last_spans.push((off, bytes.len() as u64));
+            self.committed[off_usize..off_usize + bytes.len()].copy_from_slice(&bytes);
+        }
+        self.active = false;
+        self.seq += 1;
+    }
+
+    /// Aborts: pending writes vanish.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is active.
+    pub fn abort(&mut self) {
+        assert!(self.active, "shadow abort outside a transaction");
+        self.pending.clear();
+        self.active = false;
+    }
+
+    /// Committed transaction count.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The committed database image.
+    pub fn committed(&self) -> &[u8] {
+        &self.committed
+    }
+
+    /// The committed image as it was *before the most recent commit* —
+    /// the state a 1-safe backup is allowed to recover to when the final
+    /// commit's publication was still in flight.
+    pub fn prev_bytes(&self) -> Vec<u8> {
+        let mut prev = self.committed.clone();
+        // Undo entries were recorded in commit order; apply in reverse.
+        for (off, old) in self.last_undo.iter().rev() {
+            let off = *off as usize;
+            prev[off..off + old.len()].copy_from_slice(old);
+        }
+        prev
+    }
+
+    /// `(offset, len)` spans written by the most recent commit (for
+    /// torn-tail containment checks).
+    pub fn last_txn_spans(&self) -> &[(u64, u64)] {
+        &self.last_spans
+    }
+
+    /// Compares the committed image to the arena's database region,
+    /// returning the first mismatching offset.
+    pub fn first_mismatch(&self, arena: &Arena) -> Option<u64> {
+        let actual = arena.read_vec(self.region.start(), self.committed.len());
+        self.committed
+            .iter()
+            .zip(actual.iter())
+            .position(|(a, b)| a != b)
+            .map(|p| p as u64)
+    }
+
+    /// `true` if the arena's database region equals the committed image.
+    pub fn matches(&self, arena: &Arena) -> bool {
+        self.first_mismatch(arena).is_none()
+    }
+
+    /// `true` if the arena equals `image` (helper for
+    /// [`ShadowDb::prev_bytes`] comparisons).
+    pub fn arena_equals(&self, arena: &Arena, image: &[u8]) -> bool {
+        arena.read_vec(self.region.start(), image.len()) == image
+    }
+
+    /// The shadowed region.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region() -> Region {
+        Region::new(Addr::new(64), 32)
+    }
+
+    #[test]
+    fn commit_applies_pending() {
+        let mut s = ShadowDb::new(region());
+        s.begin();
+        s.write(Addr::new(64), &[9; 4]);
+        assert_eq!(s.committed()[0], 0, "pending is invisible");
+        s.commit();
+        assert_eq!(&s.committed()[..4], &[9; 4]);
+    }
+
+    #[test]
+    fn abort_discards_pending() {
+        let mut s = ShadowDb::new(region());
+        s.begin();
+        s.write(Addr::new(70), &[1]);
+        s.abort();
+        assert_eq!(s.committed(), &[0; 32]);
+        assert_eq!(s.seq(), 0);
+    }
+
+    #[test]
+    fn prev_bytes_is_one_commit_back() {
+        let mut s = ShadowDb::new(region());
+        s.begin();
+        s.write(Addr::new(64), &[1; 8]);
+        s.commit();
+        s.begin();
+        s.write(Addr::new(68), &[2; 8]);
+        s.commit();
+        let prev = s.prev_bytes();
+        assert_eq!(&prev[..8], &[1; 8]);
+        assert_eq!(&prev[8..16], &[0; 8]);
+        assert_eq!(&s.committed()[4..12], &[2; 8]);
+    }
+
+    #[test]
+    fn overlapping_writes_last_wins() {
+        let mut s = ShadowDb::new(region());
+        s.begin();
+        s.write(Addr::new(64), &[1; 8]);
+        s.write(Addr::new(68), &[2; 2]);
+        s.commit();
+        assert_eq!(&s.committed()[..8], &[1, 1, 1, 1, 2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn last_txn_spans_reported() {
+        let mut s = ShadowDb::new(region());
+        s.begin();
+        s.write(Addr::new(66), &[5; 4]);
+        s.commit();
+        assert_eq!(s.last_txn_spans(), &[(2, 4)]);
+    }
+
+    #[test]
+    fn matches_against_arena() {
+        let mut s = ShadowDb::new(region());
+        s.begin();
+        s.write(Addr::new(64), &[7]);
+        s.commit();
+        let mut arena = Arena::new(128);
+        arena.write(Addr::new(64), &[7]);
+        assert!(s.matches(&arena));
+        arena.write(Addr::new(65), &[1]);
+        assert_eq!(s.first_mismatch(&arena), Some(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn write_outside_txn_panics() {
+        let mut s = ShadowDb::new(region());
+        s.write(Addr::new(64), &[1]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Capacity-limit behaviour: every engine fails gracefully — with a typed
+//! error, and with the transaction still abortable — when its undo
+//! structures fill up.
+
+use dsnrep_core::{
+    build_engine, Engine, EngineConfig, ImprovedLogEngine, Machine, MirrorEngine, MirrorStrategy,
+    TxError, VersionTag, VistaEngine,
+};
+use dsnrep_simcore::CostModel;
+
+fn machine_for(version: VersionTag, config: &EngineConfig) -> Machine {
+    let arena = dsnrep_core::shared_arena(dsnrep_core::arena_len(version, config));
+    Machine::standalone(CostModel::alpha_21164a(), arena)
+}
+
+#[test]
+fn v3_reports_log_exhaustion_and_recovers_by_abort() {
+    let mut config = EngineConfig::for_db(1 << 16);
+    config.undo_capacity = 256; // room for a couple of records only
+    let mut m = machine_for(VersionTag::ImprovedLog, &config);
+    let mut e = ImprovedLogEngine::format(&mut m, &config);
+    let db = e.db_region().start();
+
+    e.begin(&mut m).unwrap();
+    e.set_range(&mut m, db, 128).unwrap();
+    e.write(&mut m, db, &[1; 128]).unwrap();
+    let err = e.set_range(&mut m, db + 512, 128).unwrap_err();
+    assert!(matches!(err, TxError::UndoLogFull { .. }), "{err}");
+    // The failed range must not be writable.
+    assert!(matches!(
+        e.write(&mut m, db + 512, &[2; 8]),
+        Err(TxError::UnprotectedWrite { .. })
+    ));
+    // Abort restores the ranges that *did* succeed.
+    e.abort(&mut m).unwrap();
+    let mut buf = [9u8; 128];
+    e.read(&mut m, db, &mut buf);
+    assert_eq!(buf, [0u8; 128]);
+}
+
+#[test]
+fn mirror_reports_range_array_exhaustion() {
+    let mut config = EngineConfig::for_db(1 << 16);
+    config.max_ranges = 3;
+    let mut m = machine_for(VersionTag::MirrorCopy, &config);
+    let mut e = MirrorEngine::format(&mut m, &config, MirrorStrategy::Copy);
+    let db = e.db_region().start();
+
+    e.begin(&mut m).unwrap();
+    for i in 0..3u64 {
+        e.set_range(&mut m, db + i * 64, 16).unwrap();
+    }
+    let err = e.set_range(&mut m, db + 1024, 16).unwrap_err();
+    assert_eq!(err, TxError::TooManyRanges { capacity: 3 });
+    e.abort(&mut m).unwrap();
+}
+
+#[test]
+fn v0_reports_heap_exhaustion_with_a_source_chain() {
+    let mut config = EngineConfig::for_db(1 << 16);
+    config.undo_capacity = 512; // tiny recoverable heap
+    let mut m = machine_for(VersionTag::Vista, &config);
+    let mut e = VistaEngine::format(&mut m, &config);
+    let db = e.db_region().start();
+
+    e.begin(&mut m).unwrap();
+    let mut filled = 0u64;
+    let err = loop {
+        match e.set_range(&mut m, db + filled * 64, 48) {
+            Ok(()) => filled += 1,
+            Err(err) => break err,
+        }
+        assert!(filled < 100, "the tiny heap must fill up");
+    };
+    assert!(matches!(err, TxError::UndoAllocFailed(_)), "{err}");
+    assert!(
+        std::error::Error::source(&err).is_some(),
+        "alloc failure is chained"
+    );
+    // Successful ranges still abort cleanly.
+    e.abort(&mut m).unwrap();
+    assert_eq!(e.committed_seq(&mut m), 0);
+}
+
+#[test]
+fn engines_keep_working_after_a_capacity_error() {
+    // After an exhaustion error + abort, normal transactions proceed.
+    for version in VersionTag::ALL {
+        let mut config = EngineConfig::for_db(1 << 16);
+        config.undo_capacity = 512;
+        config.max_ranges = 4;
+        let mut m = machine_for(version, &config);
+        let mut e = build_engine(version, &mut m, &config);
+        let db = e.db_region().start();
+
+        e.begin(&mut m).unwrap();
+        let mut i = 0u64;
+        while e.set_range(&mut m, db + i * 48, 32).is_ok() {
+            i += 1;
+            if i > 200 {
+                break; // mirrors have generous limits relative to this db
+            }
+        }
+        e.abort(&mut m).unwrap();
+
+        e.begin(&mut m).unwrap();
+        e.set_range(&mut m, db, 16).unwrap();
+        e.write(&mut m, db, &[5; 16]).unwrap();
+        e.commit(&mut m).unwrap();
+        assert_eq!(e.committed_seq(&mut m), 1, "{version}");
+    }
+}

@@ -1,0 +1,548 @@
+//! The transmit port: write doubling into the SAN.
+//!
+//! A [`TxPort`] is one node's sending side of a write-through mapping. It
+//! owns a [`WriteBufferSet`], shares a [`Link`] with every other port on the
+//! same SAN, enforces the posted-write window (the processor stalls when too
+//! many bytes are in flight), and applies delivered packets into the peer's
+//! recoverable arena.
+//!
+//! Delivery is *cut-aware*: a packet is only applied to the peer once
+//! simulated time passes its delivery instant, so a crash can truncate the
+//! in-flight tail — this is exactly the paper's 1-safe vulnerability window
+//! of "a few microseconds".
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+use dsnrep_rio::Arena;
+use dsnrep_simcore::{
+    Addr, Clock, CostModel, StoreSink, TrafficClass, VirtualDuration, VirtualInstant,
+};
+
+use crate::link::Link;
+use crate::wbuf::{FlushedBuffer, WriteBufferSet, BLOCK};
+
+#[derive(Clone, Copy, Debug)]
+struct Delivery {
+    at: VirtualInstant,
+    base: Addr,
+    mask: u32,
+    data: [u8; BLOCK as usize],
+}
+
+/// One node's transmitting half of a write-through mapping.
+///
+/// # Examples
+///
+/// ```
+/// use std::cell::RefCell;
+/// use std::rc::Rc;
+/// use dsnrep_mcsim::{Link, TxPort};
+/// use dsnrep_rio::Arena;
+/// use dsnrep_simcore::{Addr, Clock, CostModel, StoreSink, TrafficClass};
+///
+/// let costs = CostModel::alpha_21164a();
+/// let link = Rc::new(RefCell::new(Link::new(&costs)));
+/// let backup = Rc::new(RefCell::new(Arena::new(4096)));
+/// let mut port = TxPort::new(&costs, link, Rc::clone(&backup));
+/// let mut clock = Clock::new();
+///
+/// port.store(&mut clock, Addr::new(64), b"replicate", TrafficClass::Modified);
+/// port.quiesce(&mut clock);
+/// assert_eq!(backup.borrow().read_vec(Addr::new(64), 9), b"replicate");
+/// ```
+pub struct TxPort {
+    link: Rc<RefCell<Link>>,
+    peers: Vec<Rc<RefCell<Arena>>>,
+    bufs: WriteBufferSet,
+    window_cap: u64,
+    window_packets: usize,
+    outstanding: VecDeque<(VirtualInstant, u64)>,
+    outstanding_bytes: u64,
+    inflight: VecDeque<Delivery>,
+    io_store_issue: VirtualDuration,
+    last_delivered: VirtualInstant,
+}
+
+impl fmt::Debug for TxPort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TxPort")
+            .field("peers", &self.peers.len())
+            .field("dirty_buffers", &self.bufs.dirty_buffers())
+            .field("outstanding_bytes", &self.outstanding_bytes)
+            .field("inflight_packets", &self.inflight.len())
+            .field("last_delivered", &self.last_delivered)
+            .finish()
+    }
+}
+
+impl TxPort {
+    /// Creates a port that applies delivered bytes to `peer`.
+    pub fn new(costs: &CostModel, link: Rc<RefCell<Link>>, peer: Rc<RefCell<Arena>>) -> Self {
+        Self::build(costs, link, vec![peer])
+    }
+
+    /// Creates a port with no peer arena: packets are timed and accounted
+    /// but their payloads vanish. Used by the bandwidth micro-benchmarks.
+    pub fn sink_only(costs: &CostModel, link: Rc<RefCell<Link>>) -> Self {
+        Self::build(costs, link, Vec::new())
+    }
+
+    /// Adds another receiver: the Memory Channel hub multicasts natively,
+    /// so one packet reaches every mapped peer at no extra link cost.
+    pub fn add_peer(&mut self, peer: Rc<RefCell<Arena>>) {
+        self.peers.push(peer);
+    }
+
+    /// Number of receivers mapped to this port.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    fn build(costs: &CostModel, link: Rc<RefCell<Link>>, peers: Vec<Rc<RefCell<Arena>>>) -> Self {
+        assert!(
+            costs.max_packet == BLOCK,
+            "the write-buffer model is fixed at {BLOCK}-byte blocks"
+        );
+        TxPort {
+            link,
+            peers,
+            bufs: WriteBufferSet::new(costs.write_buffers),
+            window_cap: costs.posted_window,
+            window_packets: costs.posted_window_packets.max(1),
+            outstanding: VecDeque::new(),
+            outstanding_bytes: 0,
+            inflight: VecDeque::new(),
+            io_store_issue: costs.io_store_issue,
+            last_delivered: VirtualInstant::EPOCH,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        clock: &mut Clock,
+        link: &Rc<RefCell<Link>>,
+        window_cap: u64,
+        window_packets: usize,
+        outstanding: &mut VecDeque<(VirtualInstant, u64)>,
+        outstanding_bytes: &mut u64,
+        inflight: &mut VecDeque<Delivery>,
+        last_delivered: &mut VirtualInstant,
+        flushed: FlushedBuffer,
+    ) {
+        let payload = flushed.payload();
+        if payload == 0 {
+            return;
+        }
+        // Release completed packets.
+        while let Some(&(done, bytes)) = outstanding.front() {
+            if done <= clock.now() {
+                outstanding.pop_front();
+                *outstanding_bytes -= bytes;
+            } else {
+                break;
+            }
+        }
+        // Posted-write flow control: stall until the window has room
+        // (bounded both in bytes and in queue entries).
+        while *outstanding_bytes + payload > window_cap || outstanding.len() >= window_packets {
+            let (done, bytes) = outstanding
+                .pop_front()
+                .expect("window exceeded with no outstanding packets");
+            clock.advance_to(done);
+            *outstanding_bytes -= bytes;
+        }
+        let timing = link
+            .borrow_mut()
+            .send_mixed(clock.now(), flushed.class_bytes);
+        outstanding.push_back((timing.done, payload));
+        *outstanding_bytes += payload;
+        inflight.push_back(Delivery {
+            at: timing.delivered,
+            base: flushed.base,
+            mask: flushed.mask,
+            data: flushed.data,
+        });
+        *last_delivered = timing.delivered;
+    }
+
+    fn apply(peers: &[Rc<RefCell<Arena>>], d: &Delivery) {
+        let buf = FlushedBuffer {
+            base: d.base,
+            mask: d.mask,
+            data: d.data,
+            class_bytes: [0; 3], // irrelevant for apply
+        };
+        for peer in peers {
+            let mut arena = peer.borrow_mut();
+            for (addr, run) in buf.dirty_runs() {
+                arena.write(addr, run);
+            }
+        }
+    }
+
+    /// A store whose words do **not** merge in the write buffers: the
+    /// 21164's buffers only merge back-to-back stores, and a word-at-a-time
+    /// copy loop (load, store, load, store...) defeats merging, so every
+    /// 8-byte word becomes its own PCI transaction and SAN packet. This is
+    /// the paper's observation that mirroring "does not benefit at all from
+    /// data aggregation" (§8).
+    pub fn store_unmerged(
+        &mut self,
+        clock: &mut Clock,
+        addr: Addr,
+        bytes: &[u8],
+        class: TrafficClass,
+    ) {
+        if bytes.is_empty() {
+            return;
+        }
+        clock.advance(crate::io_issue_time(
+            self.io_store_issue,
+            bytes.len() as u64,
+        ));
+        // Emit one packet per 8-byte-aligned word run, bypassing the
+        // write buffers — but first flush any buffer holding the same
+        // block, so same-address stores stay ordered on the wire.
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let a = addr + off as u64;
+            let word_end = ((a.as_u64() | 7) + 1).min(addr.as_u64() + bytes.len() as u64);
+            let n = (word_end - a.as_u64()) as usize;
+            let block_base = a.align_down(BLOCK);
+            let in_block = a.offset_in(BLOCK) as usize;
+            {
+                let TxPort {
+                    link,
+                    bufs,
+                    window_cap,
+                    window_packets,
+                    outstanding,
+                    outstanding_bytes,
+                    inflight,
+                    last_delivered,
+                    ..
+                } = self;
+                bufs.flush_block(block_base.as_u64() / BLOCK, &mut |flushed| {
+                    Self::emit(
+                        clock,
+                        link,
+                        *window_cap,
+                        *window_packets,
+                        outstanding,
+                        outstanding_bytes,
+                        inflight,
+                        last_delivered,
+                        flushed,
+                    );
+                });
+            }
+            // A word never spans a 32-byte block (8-byte words, 32-byte
+            // blocks), so this fits.
+            let mut data = [0u8; BLOCK as usize];
+            let mut mask = 0u32;
+            for (i, &b) in bytes[off..off + n].iter().enumerate() {
+                data[in_block + i] = b;
+                mask |= 1 << (in_block + i);
+            }
+            let mut class_bytes = [0u64; 3];
+            class_bytes[class.index()] = u64::from(mask.count_ones());
+            let flushed = FlushedBuffer {
+                base: block_base,
+                mask,
+                data,
+                class_bytes,
+            };
+            let TxPort {
+                link,
+                window_cap,
+                window_packets,
+                outstanding,
+                outstanding_bytes,
+                inflight,
+                last_delivered,
+                ..
+            } = self;
+            Self::emit(
+                clock,
+                link,
+                *window_cap,
+                *window_packets,
+                outstanding,
+                outstanding_bytes,
+                inflight,
+                last_delivered,
+                flushed,
+            );
+            off += n;
+        }
+        self.deliver_up_to(clock.now());
+    }
+
+    /// Applies every packet whose delivery instant is at or before `t`.
+    pub fn deliver_up_to(&mut self, t: VirtualInstant) {
+        while let Some(front) = self.inflight.front() {
+            if front.at <= t {
+                let d = self.inflight.pop_front().expect("front() checked");
+                Self::apply(&self.peers, &d);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Flushes all write buffers and applies every packet: the graceful
+    /// end-of-run (or controlled-switchover) path.
+    pub fn quiesce(&mut self, clock: &mut Clock) {
+        self.barrier(clock);
+        self.deliver_up_to(VirtualInstant::from_picos(u64::MAX));
+    }
+
+    /// Simulates a crash of the sending node at instant `at`: packets
+    /// delivered by `at` are applied, everything else — including dirty
+    /// write buffers that never reached the PCI bus — is lost.
+    pub fn crash_cut(&mut self, at: VirtualInstant) {
+        self.deliver_up_to(at);
+        self.inflight.clear();
+        self.bufs.discard_all();
+        self.outstanding.clear();
+        self.outstanding_bytes = 0;
+    }
+
+    /// Delivery instant of the most recently flushed packet.
+    pub fn last_delivered(&self) -> VirtualInstant {
+        self.last_delivered
+    }
+
+    /// Packets flushed to the link but not yet applied to the peer.
+    pub fn inflight_packets(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// The shared link (for reading traffic statistics).
+    pub fn link(&self) -> &Rc<RefCell<Link>> {
+        &self.link
+    }
+}
+
+impl StoreSink for TxPort {
+    fn store(&mut self, clock: &mut Clock, addr: Addr, bytes: &[u8], class: TrafficClass) {
+        if bytes.is_empty() {
+            return;
+        }
+        clock.advance(crate::io_issue_time(
+            self.io_store_issue,
+            bytes.len() as u64,
+        ));
+        let TxPort {
+            link,
+            bufs,
+            window_cap,
+            window_packets,
+            outstanding,
+            outstanding_bytes,
+            inflight,
+            last_delivered,
+            ..
+        } = self;
+        bufs.store(addr, bytes, class, &mut |flushed| {
+            Self::emit(
+                clock,
+                link,
+                *window_cap,
+                *window_packets,
+                outstanding,
+                outstanding_bytes,
+                inflight,
+                last_delivered,
+                flushed,
+            );
+        });
+        self.deliver_up_to(clock.now());
+    }
+
+    fn barrier(&mut self, clock: &mut Clock) {
+        let TxPort {
+            link,
+            bufs,
+            window_cap,
+            window_packets,
+            outstanding,
+            outstanding_bytes,
+            inflight,
+            last_delivered,
+            ..
+        } = self;
+        bufs.flush_all(&mut |flushed| {
+            Self::emit(
+                clock,
+                link,
+                *window_cap,
+                *window_packets,
+                outstanding,
+                outstanding_bytes,
+                inflight,
+                last_delivered,
+                flushed,
+            );
+        });
+        self.deliver_up_to(clock.now());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (
+        CostModel,
+        Rc<RefCell<Link>>,
+        Rc<RefCell<Arena>>,
+        TxPort,
+        Clock,
+    ) {
+        let costs = CostModel::alpha_21164a();
+        let link = Rc::new(RefCell::new(Link::new(&costs)));
+        let peer = Rc::new(RefCell::new(Arena::new(1 << 20)));
+        let port = TxPort::new(&costs, Rc::clone(&link), Rc::clone(&peer));
+        (costs, link, peer, port, Clock::new())
+    }
+
+    #[test]
+    fn bytes_arrive_at_peer_after_quiesce() {
+        let (_, _, peer, mut port, mut clock) = setup();
+        port.store(
+            &mut clock,
+            Addr::new(100),
+            &[1, 2, 3, 4],
+            TrafficClass::Modified,
+        );
+        // Not yet flushed: buffer still dirty, peer still zero.
+        assert_eq!(peer.borrow().read_vec(Addr::new(100), 4), vec![0; 4]);
+        port.quiesce(&mut clock);
+        assert_eq!(peer.borrow().read_vec(Addr::new(100), 4), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn store_charges_issue_cost() {
+        let (costs, _, _, mut port, mut clock) = setup();
+        port.store(&mut clock, Addr::new(0), &[0; 16], TrafficClass::Undo);
+        assert_eq!(clock.now().as_picos(), costs.io_issue_time(16).as_picos());
+    }
+
+    #[test]
+    fn window_stalls_a_flood_of_small_packets() {
+        let (costs, _, _, mut port, mut clock) = setup();
+        // Scatter single-byte stores to distinct blocks: every store
+        // eventually evicts a one-byte packet. The link (~270 ns/packet)
+        // is far slower than issue cost (15 ns), so the window must stall.
+        for i in 0..10_000u64 {
+            port.store(&mut clock, Addr::new(i * 64), &[1], TrafficClass::Meta);
+        }
+        assert!(
+            clock.stalled() > VirtualDuration::ZERO,
+            "expected posted-window stalls, clock={clock:?}"
+        );
+        // Steady state: time ~ packets * packet_time(1).
+        let expect = costs.packet_time(1).as_picos() * 10_000;
+        let actual = clock.now().as_picos();
+        assert!(
+            (actual as f64) > 0.9 * expect as f64 && (actual as f64) < 1.1 * expect as f64,
+            "expected ~{expect} ps, got {actual} ps"
+        );
+    }
+
+    #[test]
+    fn sequential_stream_is_link_limited_at_full_packets() {
+        let (_costs, link, _, mut port, mut clock) = setup();
+        let total: u64 = 1 << 20;
+        let mut addr = 0u64;
+        while addr < total {
+            port.store(&mut clock, Addr::new(addr), &[7; 32], TrafficClass::Undo);
+            addr += 32;
+        }
+        port.quiesce(&mut clock);
+        let t = link.borrow();
+        assert_eq!(t.traffic().total_bytes(), total);
+        assert!(t.traffic().full_packet_fraction() > 0.99);
+    }
+
+    #[test]
+    fn crash_cut_drops_undelivered_tail() {
+        let (_, _, peer, mut port, mut clock) = setup();
+        port.store(
+            &mut clock,
+            Addr::new(0),
+            &[0xAA; 32],
+            TrafficClass::Modified,
+        );
+        // The packet flushed (buffer full) but delivery is ~3.3 us away.
+        let crash_at = clock.now(); // long before delivery
+        port.crash_cut(crash_at);
+        assert_eq!(peer.borrow().read_vec(Addr::new(0), 32), vec![0; 32]);
+        assert_eq!(port.inflight_packets(), 0);
+    }
+
+    #[test]
+    fn crash_cut_keeps_delivered_prefix() {
+        let (costs, _, peer, mut port, mut clock) = setup();
+        port.store(
+            &mut clock,
+            Addr::new(0),
+            &[0xAA; 32],
+            TrafficClass::Modified,
+        );
+        let delivered_by = port.last_delivered();
+        // Much later, write more that will NOT be delivered.
+        clock.advance(costs.link_latency * 10);
+        port.store(
+            &mut clock,
+            Addr::new(64),
+            &[0xBB; 32],
+            TrafficClass::Modified,
+        );
+        port.crash_cut(delivered_by + VirtualDuration::from_nanos(1));
+        assert_eq!(peer.borrow().read_vec(Addr::new(0), 32), vec![0xAA; 32]);
+        assert_eq!(peer.borrow().read_vec(Addr::new(64), 32), vec![0; 32]);
+    }
+
+    #[test]
+    fn barrier_flushes_partial_buffers() {
+        let (_, link, peer, mut port, mut clock) = setup();
+        port.store(&mut clock, Addr::new(0), &[5; 4], TrafficClass::Meta);
+        assert_eq!(link.borrow().traffic().total_packets(), 0);
+        port.barrier(&mut clock);
+        assert_eq!(link.borrow().traffic().total_packets(), 1);
+        port.deliver_up_to(VirtualInstant::from_picos(u64::MAX));
+        assert_eq!(peer.borrow().read_vec(Addr::new(0), 4), vec![5; 4]);
+    }
+
+    #[test]
+    fn two_ports_share_one_link_fifo() {
+        let costs = CostModel::alpha_21164a();
+        let link = Rc::new(RefCell::new(Link::new(&costs)));
+        let peer_a = Rc::new(RefCell::new(Arena::new(4096)));
+        let peer_b = Rc::new(RefCell::new(Arena::new(4096)));
+        let mut a = TxPort::new(&costs, Rc::clone(&link), peer_a);
+        let mut b = TxPort::new(&costs, Rc::clone(&link), peer_b);
+        let mut ca = Clock::new();
+        let mut cb = Clock::new();
+        a.store(&mut ca, Addr::new(0), &[1; 32], TrafficClass::Modified);
+        b.store(&mut cb, Addr::new(0), &[2; 32], TrafficClass::Modified);
+        // Both packets went through the same link; it was busy twice.
+        assert_eq!(link.borrow().traffic().total_packets(), 2);
+        let busy = link.borrow().busy_until();
+        assert!(busy.as_picos() >= 2 * costs.packet_time(32).as_picos());
+    }
+
+    #[test]
+    fn ordering_of_overlapping_stores_is_preserved() {
+        let (_, _, peer, mut port, mut clock) = setup();
+        port.store(&mut clock, Addr::new(0), &[1; 32], TrafficClass::Modified);
+        port.store(&mut clock, Addr::new(0), &[2; 32], TrafficClass::Modified);
+        port.quiesce(&mut clock);
+        assert_eq!(peer.borrow().read_vec(Addr::new(0), 32), vec![2; 32]);
+    }
+}

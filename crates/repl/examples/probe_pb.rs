@@ -1,0 +1,43 @@
+//! Probe: primary-backup throughput + traffic vs paper Tables 4-7.
+use dsnrep_core::{EngineConfig, VersionTag};
+use dsnrep_repl::{ActiveCluster, PassiveCluster};
+use dsnrep_simcore::{CostModel, TrafficClass, MIB};
+use dsnrep_workloads::WorkloadKind;
+
+fn main() {
+    let txns: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    for wk in WorkloadKind::ALL {
+        for v in VersionTag::ALL {
+            let config = EngineConfig::for_db(50 * MIB);
+            let mut c = PassiveCluster::new(CostModel::alpha_21164a(), v, &config);
+            let mut w = wk.build(c.engine().db_region(), 42);
+            let r = c.run(w.as_mut(), txns);
+            let t = c.traffic();
+            // scale traffic to the paper's run length (DC 4.98M txns, OE 457k)
+            let scale = match wk {
+                WorkloadKind::DebitCredit => 4_980_000.0,
+                WorkloadKind::OrderEntry => 457_000.0,
+            } / txns as f64;
+            println!("{:12} passive {:28} {:>8.0} TPS | mod {:>7.1} undo {:>7.1} meta {:>7.1} MB | mean pkt {:.1}B",
+                wk.name(), v.paper_label(), r.tps(),
+                t.mib(TrafficClass::Modified)*scale, t.mib(TrafficClass::Undo)*scale, t.mib(TrafficClass::Meta)*scale,
+                t.mean_packet_size());
+        }
+        let config = EngineConfig::for_db(50 * MIB);
+        let mut c = ActiveCluster::new(CostModel::alpha_21164a(), &config);
+        let mut w = wk.build(c.db_region(), 42);
+        let r = c.run(w.as_mut(), txns);
+        let t = c.traffic();
+        let scale = match wk {
+            WorkloadKind::DebitCredit => 4_980_000.0,
+            WorkloadKind::OrderEntry => 457_000.0,
+        } / txns as f64;
+        println!("{:12} ACTIVE  {:28} {:>8.0} TPS | mod {:>7.1} undo {:>7.1} meta {:>7.1} MB | mean pkt {:.1}B",
+            wk.name(), "", r.tps(),
+            t.mib(TrafficClass::Modified)*scale, t.mib(TrafficClass::Undo)*scale, t.mib(TrafficClass::Meta)*scale,
+            t.mean_packet_size());
+    }
+}

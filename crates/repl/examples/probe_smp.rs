@@ -1,0 +1,31 @@
+//! Probe: SMP scaling (paper Figures 2 and 3).
+use dsnrep_core::{EngineConfig, VersionTag};
+use dsnrep_repl::{Scheme, SmpExperiment};
+use dsnrep_simcore::{CostModel, MIB};
+use dsnrep_workloads::WorkloadKind;
+
+fn main() {
+    let txns: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5_000);
+    let schemes = [
+        Scheme::Active,
+        Scheme::Passive(VersionTag::ImprovedLog),
+        Scheme::Passive(VersionTag::MirrorDiff),
+        Scheme::Passive(VersionTag::MirrorCopy),
+    ];
+    for wk in WorkloadKind::ALL {
+        println!("== {wk} ==");
+        for scheme in schemes {
+            print!("{scheme:32}");
+            for n in 1..=4 {
+                let config = EngineConfig::for_db(10 * MIB);
+                let mut exp = SmpExperiment::new(CostModel::alpha_21164a(), scheme, wk, &config, n);
+                let r = exp.run(txns);
+                print!(" {:>9.0}", r.aggregate_tps());
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Probe: Table 8 (active backup vs database size) and Table 1 (straightforward).
+use dsnrep_core::{EngineConfig, Machine, VersionTag};
+use dsnrep_repl::ActiveCluster;
+use dsnrep_simcore::{CostModel, MIB};
+use dsnrep_workloads::{run_standalone, WorkloadKind};
+
+fn main() {
+    let txns: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    println!("-- Table 8: active backup TPS vs db size --");
+    for wk in WorkloadKind::ALL {
+        print!("{:12}", wk.name());
+        for mb in [10u64, 100, 1024] {
+            let config = EngineConfig::for_db(mb * MIB);
+            let mut c = ActiveCluster::new(CostModel::alpha_21164a(), &config);
+            let mut w = wk.build(c.db_region(), 42);
+            let r = c.run(w.as_mut(), txns);
+            print!(" {:>4}MB {:>8.0}", mb, r.tps());
+        }
+        println!();
+    }
+    println!("-- Table 1: single machine vs straightforward primary-backup (V0) --");
+    for wk in WorkloadKind::ALL {
+        let config = EngineConfig::for_db(50 * MIB);
+        let arena = dsnrep_core::shared_arena(dsnrep_core::arena_len(VersionTag::Vista, &config));
+        let mut m = Machine::standalone(CostModel::alpha_21164a(), arena);
+        let mut e = dsnrep_core::build_engine(VersionTag::Vista, &mut m, &config);
+        let mut w = wk.build(e.db_region(), 42);
+        let single = run_standalone(w.as_mut(), &mut m, e.as_mut(), txns);
+        let mut c =
+            dsnrep_repl::PassiveCluster::new(CostModel::alpha_21164a(), VersionTag::Vista, &config);
+        let mut w = wk.build(c.engine().db_region(), 42);
+        let pb = c.run(w.as_mut(), txns);
+        println!(
+            "{:12} single {:>8.0}  pb {:>8.0}  drop {:.1}x",
+            wk.name(),
+            single.tps(),
+            pb.tps(),
+            single.tps() / pb.tps()
+        );
+    }
+}

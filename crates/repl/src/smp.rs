@@ -1,0 +1,214 @@
+//! The SMP-primary experiment driver (paper §8, Figures 2 and 3).
+//!
+//! A small shared-memory multiprocessor runs one transaction server per
+//! processor, over disjoint data (a private 10 MB database per stream, as
+//! in the paper), so streams never synchronize — but every stream's
+//! write-through traffic funnels into the **one** Memory Channel adapter.
+//! Whether aggregate throughput scales is decided entirely by how
+//! bandwidth-frugal and coalescing-friendly each scheme is.
+//!
+//! Streams are simulated in minimum-virtual-time order at transaction
+//! granularity: at each step the stream whose clock is furthest behind runs
+//! one transaction against the shared link. The arbitration error is
+//! bounded by one transaction (a few microseconds), negligible at the
+//! multi-second horizons of the experiment.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dsnrep_core::{EngineConfig, VersionTag};
+use dsnrep_mcsim::{Link, Traffic};
+use dsnrep_simcore::{CostModel, VirtualDuration, VirtualInstant};
+use dsnrep_workloads::{Workload, WorkloadKind};
+
+use crate::active::ActiveCluster;
+use crate::passive::PassiveCluster;
+
+/// Which replication scheme each stream runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Passive backup with the given engine version.
+    Passive(VersionTag),
+    /// Active backup (redo ring, Version 3 locally).
+    Active,
+}
+
+impl core::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Scheme::Passive(v) => write!(f, "Passive {v}"),
+            Scheme::Active => f.write_str("Active"),
+        }
+    }
+}
+
+enum StreamCluster {
+    Passive(PassiveCluster),
+    Active(ActiveCluster),
+}
+
+impl StreamCluster {
+    fn now(&self) -> VirtualInstant {
+        match self {
+            StreamCluster::Passive(c) => c.machine().now(),
+            StreamCluster::Active(c) => c.machine().now(),
+        }
+    }
+
+    fn run_txn(&mut self, workload: &mut dyn Workload) {
+        match self {
+            StreamCluster::Passive(c) => c.run_txn(workload),
+            StreamCluster::Active(c) => c.run_txn(workload),
+        }
+    }
+}
+
+struct Stream {
+    cluster: StreamCluster,
+    workload: Box<dyn Workload>,
+    done: u64,
+}
+
+/// The result of one SMP run.
+#[derive(Clone, Debug)]
+pub struct SmpReport {
+    /// Streams (processors) that ran.
+    pub streams: usize,
+    /// Transactions per stream.
+    pub txns_per_stream: u64,
+    /// Virtual time at which the *slowest* stream finished.
+    pub makespan: VirtualDuration,
+    /// Link traffic across all streams.
+    pub traffic: Traffic,
+}
+
+impl SmpReport {
+    /// Aggregate transactions per second across all streams.
+    pub fn aggregate_tps(&self) -> f64 {
+        if self.makespan.is_zero() {
+            return 0.0;
+        }
+        (self.streams as u64 * self.txns_per_stream) as f64 / self.makespan.as_secs_f64()
+    }
+}
+
+/// A multi-stream primary over one shared SAN link.
+///
+/// # Examples
+///
+/// ```
+/// use dsnrep_core::{EngineConfig, VersionTag};
+/// use dsnrep_repl::{Scheme, SmpExperiment};
+/// use dsnrep_simcore::{CostModel, MIB};
+/// use dsnrep_workloads::WorkloadKind;
+///
+/// let config = EngineConfig::for_db(MIB);
+/// let mut exp = SmpExperiment::new(
+///     CostModel::alpha_21164a(), Scheme::Active, WorkloadKind::DebitCredit,
+///     &config, 2);
+/// let report = exp.run(50);
+/// assert_eq!(report.streams, 2);
+/// assert!(report.aggregate_tps() > 0.0);
+/// ```
+pub struct SmpExperiment {
+    streams: Vec<Stream>,
+    link: Rc<RefCell<Link>>,
+}
+
+impl core::fmt::Debug for SmpExperiment {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SmpExperiment")
+            .field("streams", &self.streams.len())
+            .finish()
+    }
+}
+
+impl SmpExperiment {
+    /// Builds `count` independent streams of `scheme` x `kind`, all sharing
+    /// one link. Each stream has its own database (`config.db_len` bytes;
+    /// the paper uses 10 MB per stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn new(
+        costs: CostModel,
+        scheme: Scheme,
+        kind: WorkloadKind,
+        config: &EngineConfig,
+        count: usize,
+    ) -> Self {
+        assert!(count > 0, "need at least one stream");
+        let link = Rc::new(RefCell::new(Link::new(&costs)));
+        let reverse_link = Rc::new(RefCell::new(Link::new(&costs)));
+        let streams = (0..count)
+            .map(|i| {
+                let seed = 0xD5E1_0000 + i as u64;
+                match scheme {
+                    Scheme::Passive(version) => {
+                        let cluster = PassiveCluster::with_link(
+                            costs.clone(),
+                            version,
+                            config,
+                            Rc::clone(&link),
+                        );
+                        let workload = kind.build(cluster.engine().db_region(), seed);
+                        Stream {
+                            cluster: StreamCluster::Passive(cluster),
+                            workload,
+                            done: 0,
+                        }
+                    }
+                    Scheme::Active => {
+                        let cluster = ActiveCluster::with_links(
+                            costs.clone(),
+                            config,
+                            Rc::clone(&link),
+                            Rc::clone(&reverse_link),
+                        );
+                        let workload = kind.build(cluster.db_region(), seed);
+                        Stream {
+                            cluster: StreamCluster::Active(cluster),
+                            workload,
+                            done: 0,
+                        }
+                    }
+                }
+            })
+            .collect();
+        SmpExperiment { streams, link }
+    }
+
+    /// Runs every stream to `txns_per_stream` transactions, interleaving in
+    /// minimum-virtual-time order.
+    pub fn run(&mut self, txns_per_stream: u64) -> SmpReport {
+        let start: Vec<VirtualInstant> = self.streams.iter().map(|s| s.cluster.now()).collect();
+        loop {
+            // Pick the unfinished stream furthest behind in virtual time.
+            let next = self
+                .streams
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.done < txns_per_stream)
+                .min_by_key(|(_, s)| s.cluster.now())
+                .map(|(i, _)| i);
+            let Some(i) = next else { break };
+            let s = &mut self.streams[i];
+            s.cluster.run_txn(s.workload.as_mut());
+            s.done += 1;
+        }
+        let makespan = self
+            .streams
+            .iter()
+            .zip(&start)
+            .map(|(s, &t0)| s.cluster.now().duration_since(t0))
+            .max()
+            .unwrap_or(VirtualDuration::ZERO);
+        SmpReport {
+            streams: self.streams.len(),
+            txns_per_stream,
+            makespan,
+            traffic: self.link.borrow().traffic().clone(),
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! 2-safe commits: slower, but no committed transaction is ever lost.
+
+use dsnrep_core::{Durability, EngineConfig, VersionTag};
+use dsnrep_repl::{ActiveCluster, PassiveCluster};
+use dsnrep_simcore::{CostModel, MIB};
+use dsnrep_workloads::WorkloadKind;
+
+#[test]
+fn two_safe_passive_failover_loses_nothing() {
+    for version in VersionTag::ALL {
+        let config = EngineConfig::for_db(MIB);
+        let mut cluster = PassiveCluster::new(CostModel::alpha_21164a(), version, &config);
+        cluster.set_durability(Durability::TwoSafe);
+        let mut workload = WorkloadKind::DebitCredit.build(cluster.engine().db_region(), 13);
+        cluster.run(workload.as_mut(), 300);
+        let failover = cluster.crash_primary();
+        assert_eq!(
+            failover.report.committed_seq, 300,
+            "{version}: 2-safe must not lose committed transactions"
+        );
+    }
+}
+
+#[test]
+fn two_safe_active_failover_loses_nothing() {
+    let config = EngineConfig::for_db(MIB);
+    let mut cluster = ActiveCluster::new(CostModel::alpha_21164a(), &config);
+    cluster.set_durability(Durability::TwoSafe);
+    let mut workload = WorkloadKind::DebitCredit.build(cluster.db_region(), 13);
+    cluster.run(workload.as_mut(), 300);
+    let failover = cluster.crash_primary().expect("backup formats");
+    assert_eq!(failover.report.committed_seq, 300);
+}
+
+#[test]
+fn two_safe_costs_throughput() {
+    let tps = |durability: Durability| {
+        let config = EngineConfig::for_db(MIB);
+        let mut cluster =
+            PassiveCluster::new(CostModel::alpha_21164a(), VersionTag::ImprovedLog, &config);
+        cluster.set_durability(durability);
+        let mut workload = WorkloadKind::DebitCredit.build(cluster.engine().db_region(), 21);
+        cluster.run(workload.as_mut(), 2_000).tps()
+    };
+    let one = tps(Durability::OneSafe);
+    let two = tps(Durability::TwoSafe);
+    assert!(
+        two < 0.75 * one,
+        "2-safe ({two:.0}) should cost much of 1-safe's throughput ({one:.0})"
+    );
+}
+
+#[test]
+fn accounted_resync_ships_the_replicated_regions() {
+    let config = EngineConfig::for_db(MIB);
+    let mut cluster =
+        PassiveCluster::new(CostModel::alpha_21164a(), VersionTag::ImprovedLog, &config);
+    let mut workload = WorkloadKind::DebitCredit.build(cluster.engine().db_region(), 3);
+    cluster.run(workload.as_mut(), 200);
+
+    let (took, shipped) = cluster.accounted_resync();
+    // At least the database + undo log region sizes.
+    let expected: u64 = cluster
+        .engine()
+        .replicated_regions()
+        .iter()
+        .map(|r| r.len())
+        .sum();
+    assert_eq!(shipped, expected);
+    assert!(!took.is_zero());
+    // A full resync at ~80 MB/s for ~5 MB should take tens of milliseconds.
+    let secs = took.as_secs_f64();
+    let mb_per_s = shipped as f64 / (1024.0 * 1024.0) / secs;
+    assert!(
+        (20.0..90.0).contains(&mb_per_s),
+        "resync effective bandwidth {mb_per_s:.1} MB/s"
+    );
+
+    // After the resync, the backup is byte-identical in every region.
+    let primary = cluster.machine().arena().borrow().clone();
+    let backup = cluster.backup_arena().borrow().clone();
+    for region in cluster.engine().replicated_regions() {
+        assert_eq!(
+            primary.region_vec(region),
+            backup.region_vec(region),
+            "{region}"
+        );
+    }
+}

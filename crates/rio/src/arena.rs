@@ -1,0 +1,294 @@
+//! The recoverable-memory arena.
+//!
+//! An [`Arena`] stands in for Rio reliable memory: a flat byte space whose
+//! contents survive a simulated crash. Pages are allocated lazily, so a
+//! "1 GB database" experiment only materializes the pages it actually
+//! touches (the paper's Table 8 sweeps database sizes up to 1 GB).
+//!
+//! The arena is deliberately *dumb*: it stores bytes. All cost accounting
+//! (cache model, write doubling) happens in the layers above, which is what
+//! lets recovery code and test oracles read arenas for free.
+
+use core::fmt;
+
+use dsnrep_simcore::{Addr, Region};
+
+/// Size of a lazily allocated arena page.
+pub const PAGE_SIZE: usize = 64 * 1024;
+
+/// A flat, lazily paged, crash-surviving byte space.
+///
+/// Untouched bytes read as zero, mirroring freshly mapped recoverable
+/// memory.
+///
+/// # Examples
+///
+/// ```
+/// use dsnrep_rio::Arena;
+/// use dsnrep_simcore::Addr;
+///
+/// let mut arena = Arena::new(1 << 20);
+/// arena.write(Addr::new(4096), b"hello");
+/// let mut buf = [0u8; 5];
+/// arena.read_into(Addr::new(4096), &mut buf);
+/// assert_eq!(&buf, b"hello");
+/// assert_eq!(arena.read_u64(Addr::new(0)), 0); // untouched bytes are zero
+/// ```
+#[derive(Clone)]
+pub struct Arena {
+    pages: Vec<Option<Box<[u8]>>>,
+    len: u64,
+}
+
+impl fmt::Debug for Arena {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Arena")
+            .field("len", &self.len)
+            .field("pages_touched", &self.pages_touched())
+            .finish()
+    }
+}
+
+impl Arena {
+    /// Creates an arena of `len` addressable bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn new(len: u64) -> Self {
+        assert!(len > 0, "arena must not be empty");
+        let pages = len.div_ceil(PAGE_SIZE as u64);
+        Arena {
+            pages: vec![None; usize::try_from(pages).expect("arena too large")],
+            len,
+        }
+    }
+
+    /// Total addressable bytes.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Returns `true` if the arena has zero length (never: construction
+    /// forbids it), present for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pages that have been materialized by writes.
+    pub fn pages_touched(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    #[inline]
+    fn check(&self, addr: Addr, len: usize) {
+        let end = addr
+            .as_u64()
+            .checked_add(len as u64)
+            .expect("address overflow");
+        assert!(
+            end <= self.len,
+            "arena access out of bounds: {} + {} bytes > arena length {}",
+            addr,
+            len,
+            self.len
+        );
+    }
+
+    /// Writes `bytes` at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range falls outside the arena.
+    pub fn write(&mut self, addr: Addr, bytes: &[u8]) {
+        self.check(addr, bytes.len());
+        let mut off = addr.as_usize();
+        let mut src = bytes;
+        while !src.is_empty() {
+            let page_idx = off / PAGE_SIZE;
+            let page_off = off % PAGE_SIZE;
+            let n = (PAGE_SIZE - page_off).min(src.len());
+            let page =
+                self.pages[page_idx].get_or_insert_with(|| vec![0u8; PAGE_SIZE].into_boxed_slice());
+            page[page_off..page_off + n].copy_from_slice(&src[..n]);
+            src = &src[n..];
+            off += n;
+        }
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr` into `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range falls outside the arena.
+    pub fn read_into(&self, addr: Addr, buf: &mut [u8]) {
+        self.check(addr, buf.len());
+        let mut off = addr.as_usize();
+        let mut dst: &mut [u8] = buf;
+        while !dst.is_empty() {
+            let page_idx = off / PAGE_SIZE;
+            let page_off = off % PAGE_SIZE;
+            let n = (PAGE_SIZE - page_off).min(dst.len());
+            match &self.pages[page_idx] {
+                Some(page) => dst[..n].copy_from_slice(&page[page_off..page_off + n]),
+                None => dst[..n].fill(0),
+            }
+            let rest = core::mem::take(&mut dst);
+            dst = &mut rest[n..];
+            off += n;
+        }
+    }
+
+    /// Reads `len` bytes at `addr` into a fresh vector.
+    pub fn read_vec(&self, addr: Addr, len: usize) -> Vec<u8> {
+        let mut v = vec![0u8; len];
+        self.read_into(addr, &mut v);
+        v
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    pub fn read_u64(&self, addr: Addr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read_into(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    pub fn write_u64(&mut self, addr: Addr, value: u64) {
+        self.write(addr, &value.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u32` at `addr`.
+    pub fn read_u32(&self, addr: Addr) -> u32 {
+        let mut b = [0u8; 4];
+        self.read_into(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u32` at `addr`.
+    pub fn write_u32(&mut self, addr: Addr, value: u32) {
+        self.write(addr, &value.to_le_bytes());
+    }
+
+    /// Reads a little-endian `i64` at `addr`.
+    pub fn read_i64(&self, addr: Addr) -> i64 {
+        self.read_u64(addr) as i64
+    }
+
+    /// Writes a little-endian `i64` at `addr`.
+    pub fn write_i64(&mut self, addr: Addr, value: i64) {
+        self.write_u64(addr, value as u64)
+    }
+
+    /// Copies `len` bytes from `src` to `dst` within the arena. Ranges may
+    /// not overlap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either range is out of bounds or if they overlap.
+    pub fn copy(&mut self, src: Addr, dst: Addr, len: usize) {
+        assert!(
+            !Region::new(src, len as u64).overlaps(Region::new(dst, len as u64)),
+            "arena copy ranges overlap"
+        );
+        let data = self.read_vec(src, len);
+        self.write(dst, &data);
+    }
+
+    /// Returns the whole region's bytes; intended for test oracles on small
+    /// regions.
+    pub fn region_vec(&self, region: Region) -> Vec<u8> {
+        self.read_vec(
+            region.start(),
+            usize::try_from(region.len()).expect("region too large"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_filled_by_default() {
+        let a = Arena::new(PAGE_SIZE as u64 * 3);
+        assert_eq!(a.read_vec(Addr::new(12345), 16), vec![0u8; 16]);
+        assert_eq!(a.pages_touched(), 0);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut a = Arena::new(1 << 16);
+        a.write(Addr::new(100), &[1, 2, 3, 4]);
+        assert_eq!(a.read_vec(Addr::new(99), 6), vec![0, 1, 2, 3, 4, 0]);
+    }
+
+    #[test]
+    fn cross_page_write_and_read() {
+        let mut a = Arena::new(PAGE_SIZE as u64 * 2);
+        let addr = Addr::new(PAGE_SIZE as u64 - 3);
+        a.write(addr, b"abcdef");
+        assert_eq!(a.read_vec(addr, 6), b"abcdef");
+        assert_eq!(a.pages_touched(), 2);
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let mut a = Arena::new(1 << 12);
+        a.write_u64(Addr::new(8), 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(a.read_u64(Addr::new(8)), 0xDEAD_BEEF_CAFE_F00D);
+        a.write_u32(Addr::new(0), 77);
+        assert_eq!(a.read_u32(Addr::new(0)), 77);
+        a.write_i64(Addr::new(16), -42);
+        assert_eq!(a.read_i64(Addr::new(16)), -42);
+    }
+
+    #[test]
+    fn copy_non_overlapping() {
+        let mut a = Arena::new(1 << 12);
+        a.write(Addr::new(0), b"xyz");
+        a.copy(Addr::new(0), Addr::new(100), 3);
+        assert_eq!(a.read_vec(Addr::new(100), 3), b"xyz");
+    }
+
+    #[test]
+    #[should_panic]
+    fn copy_overlapping_panics() {
+        let mut a = Arena::new(1 << 12);
+        a.copy(Addr::new(0), Addr::new(4), 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_write_panics() {
+        let mut a = Arena::new(64);
+        a.write(Addr::new(60), &[0u8; 8]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_read_panics() {
+        let a = Arena::new(64);
+        let mut buf = [0u8; 8];
+        a.read_into(Addr::new(60), &mut buf);
+    }
+
+    #[test]
+    fn lazily_pages() {
+        let mut a = Arena::new(1 << 30); // 1 GB address space
+        a.write(Addr::new(1 << 29), &[9]);
+        assert_eq!(a.pages_touched(), 1);
+        assert_eq!(a.read_vec(Addr::new(1 << 29), 1), vec![9]);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = Arena::new(1 << 12);
+        a.write(Addr::new(0), &[5]);
+        let b = a.clone();
+        a.write(Addr::new(0), &[6]);
+        assert_eq!(b.read_vec(Addr::new(0), 1), vec![5]);
+    }
+}

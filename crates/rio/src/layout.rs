@@ -1,0 +1,433 @@
+//! Arena layout: the region table and recovery roots.
+//!
+//! Both primary and backup format their arenas with the *same* [`Layout`],
+//! which is what makes arena offsets meaningful across the cluster. The
+//! layout itself is stored in the arena header so that recovery — on the
+//! same node after a reboot, or on the backup after a takeover — can
+//! re-attach to the persistent structures without any volatile state.
+
+use core::fmt;
+use std::error::Error;
+
+use dsnrep_simcore::{Addr, Region};
+
+use crate::arena::Arena;
+
+/// Identifies a named region within the arena layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegionId {
+    /// The arena header: magic, root slots, region table.
+    Header,
+    /// The set-range record array (Versions 1 and 2) or other fixed-slot
+    /// transaction descriptors.
+    Ranges,
+    /// The undo log: heap-allocated records (Version 0) or the contiguous
+    /// inline log (Version 3).
+    UndoLog,
+    /// The mirror copy of the database (Versions 1 and 2).
+    Mirror,
+    /// The free-list heap (Version 0 allocates undo records here).
+    Heap,
+    /// The database proper.
+    Database,
+    /// The redo ring consumed by an active backup.
+    RedoRing,
+    /// Scratch space for tests and tools.
+    Scratch,
+}
+
+impl RegionId {
+    const ALL: [RegionId; 8] = [
+        RegionId::Header,
+        RegionId::Ranges,
+        RegionId::UndoLog,
+        RegionId::Mirror,
+        RegionId::Heap,
+        RegionId::Database,
+        RegionId::RedoRing,
+        RegionId::Scratch,
+    ];
+
+    fn code(self) -> u64 {
+        match self {
+            RegionId::Header => 0,
+            RegionId::Ranges => 1,
+            RegionId::UndoLog => 2,
+            RegionId::Mirror => 3,
+            RegionId::Heap => 4,
+            RegionId::Database => 5,
+            RegionId::RedoRing => 6,
+            RegionId::Scratch => 7,
+        }
+    }
+
+    fn from_code(code: u64) -> Option<RegionId> {
+        RegionId::ALL.iter().copied().find(|id| id.code() == code)
+    }
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            RegionId::Header => "header",
+            RegionId::Ranges => "ranges",
+            RegionId::UndoLog => "undo-log",
+            RegionId::Mirror => "mirror",
+            RegionId::Heap => "heap",
+            RegionId::Database => "database",
+            RegionId::RedoRing => "redo-ring",
+            RegionId::Scratch => "scratch",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A persistent root slot in the arena header. Engines keep their canonical
+/// recovery state (log pointers, list heads, sequence numbers) here so that
+/// a freshly rebooted or failed-over node can reconstruct everything from
+/// the arena alone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RootSlot {
+    /// Head of the Version 0 undo-record list (0 = empty).
+    UndoHead,
+    /// Version 3 inline-log allocation pointer (arena address).
+    LogPtr,
+    /// Number of valid set-range records in the `Ranges` region.
+    RangeCount,
+    /// Monotone transaction sequence number (committed count).
+    TxnSeq,
+    /// Commit flag / in-transaction marker: 0 idle, 1 in transaction.
+    InTxn,
+    /// Redo-ring producer cursor (bytes produced, mod nothing — monotone).
+    RingProducer,
+    /// Redo-ring consumer cursor (bytes consumed — monotone).
+    RingConsumer,
+    /// Incarnation counter, bumped on every recovery.
+    Epoch,
+}
+
+impl RootSlot {
+    /// All slots in header order.
+    pub const ALL: [RootSlot; 8] = [
+        RootSlot::UndoHead,
+        RootSlot::LogPtr,
+        RootSlot::RangeCount,
+        RootSlot::TxnSeq,
+        RootSlot::InTxn,
+        RootSlot::RingProducer,
+        RootSlot::RingConsumer,
+        RootSlot::Epoch,
+    ];
+
+    fn index(self) -> u64 {
+        match self {
+            RootSlot::UndoHead => 0,
+            RootSlot::LogPtr => 1,
+            RootSlot::RangeCount => 2,
+            RootSlot::TxnSeq => 3,
+            RootSlot::InTxn => 4,
+            RootSlot::RingProducer => 5,
+            RootSlot::RingConsumer => 6,
+            RootSlot::Epoch => 7,
+        }
+    }
+}
+
+const MAGIC: u64 = 0x5245_504D_454D_0001; // "REPMEM" v1
+const MAGIC_ADDR: Addr = Addr::new(0);
+const ROOTS_BASE: Addr = Addr::new(16);
+const TABLE_COUNT_ADDR: Addr = Addr::new(112);
+const TABLE_BASE: Addr = Addr::new(120);
+const TABLE_ENTRY: u64 = 24;
+
+/// Size reserved for the arena header region.
+pub const HEADER_LEN: u64 = 4096;
+
+/// Errors from parsing a formatted arena.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LayoutError {
+    /// The arena header does not carry the expected magic number.
+    BadMagic {
+        /// The value found at offset 0.
+        found: u64,
+    },
+    /// The region table names a region id this build does not know.
+    UnknownRegion {
+        /// The unknown region code.
+        code: u64,
+    },
+    /// A region extends past the end of the arena.
+    RegionOutOfBounds {
+        /// The offending region id code.
+        code: u64,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::BadMagic { found } => {
+                write!(f, "arena header magic mismatch (found {found:#x})")
+            }
+            LayoutError::UnknownRegion { code } => {
+                write!(f, "unknown region id {code} in arena region table")
+            }
+            LayoutError::RegionOutOfBounds { code } => {
+                write!(f, "region id {code} extends past the end of the arena")
+            }
+        }
+    }
+}
+
+impl Error for LayoutError {}
+
+/// An ordered set of named, non-overlapping regions plus the recovery roots.
+///
+/// # Examples
+///
+/// ```
+/// use dsnrep_rio::{Arena, Layout, LayoutBuilder, RegionId};
+///
+/// let layout = LayoutBuilder::new()
+///     .region(RegionId::Database, 1 << 20)
+///     .region(RegionId::UndoLog, 1 << 16)
+///     .build();
+/// let mut arena = Arena::new(layout.arena_len());
+/// layout.format(&mut arena);
+///
+/// let reread = Layout::read(&arena).expect("formatted arena parses");
+/// assert_eq!(reread.expect_region(RegionId::Database),
+///            layout.expect_region(RegionId::Database));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Layout {
+    regions: Vec<(RegionId, Region)>,
+    arena_len: u64,
+}
+
+impl Layout {
+    /// The address of a persistent root slot.
+    pub fn root_addr(slot: RootSlot) -> Addr {
+        ROOTS_BASE + slot.index() * 8
+    }
+
+    /// Total arena length this layout requires.
+    pub fn arena_len(&self) -> u64 {
+        self.arena_len
+    }
+
+    /// Looks up a region by id.
+    pub fn region(&self, id: RegionId) -> Option<Region> {
+        self.regions
+            .iter()
+            .find(|(rid, _)| *rid == id)
+            .map(|(_, r)| *r)
+    }
+
+    /// Looks up a region by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout has no such region.
+    pub fn expect_region(&self, id: RegionId) -> Region {
+        self.region(id)
+            .unwrap_or_else(|| panic!("layout has no {id} region"))
+    }
+
+    /// Iterates over `(id, region)` pairs in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (RegionId, Region)> + '_ {
+        self.regions.iter().copied()
+    }
+
+    /// Writes the header (magic, zeroed roots, region table) into `arena`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena is shorter than the layout requires.
+    pub fn format(&self, arena: &mut Arena) {
+        assert!(
+            arena.len() >= self.arena_len,
+            "arena ({} bytes) smaller than layout ({} bytes)",
+            arena.len(),
+            self.arena_len
+        );
+        arena.write_u64(MAGIC_ADDR, MAGIC);
+        for slot in RootSlot::ALL {
+            arena.write_u64(Layout::root_addr(slot), 0);
+        }
+        arena.write_u64(TABLE_COUNT_ADDR, self.regions.len() as u64);
+        for (i, (id, region)) in self.regions.iter().enumerate() {
+            let base = TABLE_BASE + i as u64 * TABLE_ENTRY;
+            arena.write_u64(base, id.code());
+            arena.write_u64(base + 8, region.start().as_u64());
+            arena.write_u64(base + 16, region.len());
+        }
+    }
+
+    /// Parses the layout back out of a formatted arena.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LayoutError`] if the magic is missing, a region id is
+    /// unknown, or a region does not fit in the arena.
+    pub fn read(arena: &Arena) -> Result<Layout, LayoutError> {
+        let found = arena.read_u64(MAGIC_ADDR);
+        if found != MAGIC {
+            return Err(LayoutError::BadMagic { found });
+        }
+        let count = arena.read_u64(TABLE_COUNT_ADDR) as usize;
+        let mut regions = Vec::with_capacity(count);
+        let mut arena_len = HEADER_LEN;
+        for i in 0..count {
+            let base = TABLE_BASE + i as u64 * TABLE_ENTRY;
+            let code = arena.read_u64(base);
+            let id = RegionId::from_code(code).ok_or(LayoutError::UnknownRegion { code })?;
+            let start = Addr::new(arena.read_u64(base + 8));
+            let len = arena.read_u64(base + 16);
+            let end = start.as_u64().saturating_add(len);
+            if end > arena.len() {
+                return Err(LayoutError::RegionOutOfBounds { code });
+            }
+            arena_len = arena_len.max(end);
+            regions.push((id, Region::new(start, len)));
+        }
+        Ok(Layout { regions, arena_len })
+    }
+}
+
+/// Incrementally lays out regions, 64-byte aligned, after the header.
+#[derive(Clone, Debug, Default)]
+pub struct LayoutBuilder {
+    regions: Vec<(RegionId, u64)>,
+}
+
+impl LayoutBuilder {
+    /// Creates an empty builder (the header region is implicit).
+    pub fn new() -> Self {
+        LayoutBuilder::default()
+    }
+
+    /// Appends a region of `len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was already added or is [`RegionId::Header`].
+    pub fn region(mut self, id: RegionId, len: u64) -> Self {
+        assert!(id != RegionId::Header, "the header region is implicit");
+        assert!(
+            !self.regions.iter().any(|(rid, _)| *rid == id),
+            "region {id} added twice"
+        );
+        self.regions.push((id, len));
+        self
+    }
+
+    /// Finalizes the layout, assigning 64-byte-aligned addresses in
+    /// insertion order.
+    pub fn build(self) -> Layout {
+        let mut regions = vec![(RegionId::Header, Region::new(Addr::ZERO, HEADER_LEN))];
+        let mut cursor = Addr::new(HEADER_LEN);
+        for (id, len) in self.regions {
+            cursor = cursor.align_up(64);
+            regions.push((id, Region::new(cursor, len)));
+            cursor = cursor + len;
+        }
+        Layout {
+            regions,
+            arena_len: cursor.align_up(64).as_u64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Layout {
+        LayoutBuilder::new()
+            .region(RegionId::Database, 1000)
+            .region(RegionId::UndoLog, 500)
+            .region(RegionId::Heap, 2048)
+            .build()
+    }
+
+    #[test]
+    fn regions_are_aligned_and_disjoint() {
+        let l = sample();
+        let regions: Vec<Region> = l.iter().map(|(_, r)| r).collect();
+        for r in &regions[1..] {
+            assert_eq!(r.start().offset_in(64), 0);
+        }
+        for (i, a) in regions.iter().enumerate() {
+            for b in &regions[i + 1..] {
+                assert!(!a.overlaps(*b), "{a} overlaps {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn format_then_read_round_trips() {
+        let l = sample();
+        let mut arena = Arena::new(l.arena_len());
+        l.format(&mut arena);
+        assert_eq!(Layout::read(&arena).unwrap(), l);
+    }
+
+    #[test]
+    fn read_rejects_unformatted_arena() {
+        let arena = Arena::new(8192);
+        assert!(matches!(
+            Layout::read(&arena),
+            Err(LayoutError::BadMagic { found: 0 })
+        ));
+    }
+
+    #[test]
+    fn read_rejects_truncated_region() {
+        let l = sample();
+        let mut arena = Arena::new(l.arena_len());
+        l.format(&mut arena);
+        // Corrupt the database region length.
+        arena.write_u64(Addr::new(120 + 16), u64::MAX / 2);
+        assert!(matches!(
+            Layout::read(&arena),
+            Err(LayoutError::RegionOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn read_rejects_unknown_region_code() {
+        let l = sample();
+        let mut arena = Arena::new(l.arena_len());
+        l.format(&mut arena);
+        arena.write_u64(Addr::new(120), 999);
+        assert!(matches!(
+            Layout::read(&arena),
+            Err(LayoutError::UnknownRegion { code: 999 })
+        ));
+    }
+
+    #[test]
+    fn root_slots_live_in_the_header() {
+        for slot in RootSlot::ALL {
+            let addr = Layout::root_addr(slot);
+            assert!(addr.as_u64() >= 16 && addr.as_u64() < 112, "{addr}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_region_panics() {
+        let _ = LayoutBuilder::new()
+            .region(RegionId::Database, 10)
+            .region(RegionId::Database, 10);
+    }
+
+    #[test]
+    fn expect_region_panics_on_missing() {
+        let l = sample();
+        assert!(l.region(RegionId::Mirror).is_none());
+        let result = std::panic::catch_unwind(|| l.expect_region(RegionId::Mirror));
+        assert!(result.is_err());
+    }
+}

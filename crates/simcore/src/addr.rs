@@ -1,0 +1,321 @@
+//! Addresses, regions and traffic classification.
+//!
+//! The whole reproduction addresses memory by **arena offset**: the primary
+//! and the backup lay out their recoverable arenas identically, so an offset
+//! on the primary is directly meaningful on the backup. This is the same
+//! property the paper obtains from the Memory Channel double mapping
+//! (an I/O-space alias on the writer, an ordinary mapping on the reader).
+
+use core::fmt;
+use core::ops::{Add, Sub};
+
+/// An address inside a recoverable-memory arena (a byte offset).
+///
+/// # Examples
+///
+/// ```
+/// use dsnrep_simcore::Addr;
+///
+/// let a = Addr::new(64);
+/// assert_eq!((a + 8).as_u64(), 72);
+/// assert_eq!(a.align_down(32), Addr::new(64));
+/// assert_eq!(Addr::new(70).align_down(32), Addr::new(64));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Address zero (the start of the arena header).
+    pub const ZERO: Addr = Addr(0);
+
+    /// Creates an address from a byte offset.
+    #[inline]
+    pub const fn new(offset: u64) -> Self {
+        Addr(offset)
+    }
+
+    /// Returns the byte offset.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the byte offset as `usize`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset does not fit in `usize` (cannot happen on 64-bit
+    /// hosts).
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        usize::try_from(self.0).expect("address exceeds usize")
+    }
+
+    /// Rounds down to a multiple of `align`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    #[inline]
+    pub fn align_down(self, align: u64) -> Addr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        Addr(self.0 & !(align - 1))
+    }
+
+    /// Rounds up to a multiple of `align`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    #[inline]
+    pub fn align_up(self, align: u64) -> Addr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        Addr(self.0.checked_add(align - 1).expect("address overflow") & !(align - 1))
+    }
+
+    /// Offset within an `align`-sized block.
+    #[inline]
+    pub fn offset_in(self, align: u64) -> u64 {
+        self.0 & (align - 1)
+    }
+
+    /// Checked addition of a byte count.
+    #[inline]
+    pub const fn checked_add(self, bytes: u64) -> Option<Addr> {
+        match self.0.checked_add(bytes) {
+            Some(v) => Some(Addr(v)),
+            None => None,
+        }
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(offset: u64) -> Self {
+        Addr(offset)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(addr: Addr) -> Self {
+        addr.0
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+    #[inline]
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0 + rhs)
+    }
+}
+
+impl Sub<u64> for Addr {
+    type Output = Addr;
+    #[inline]
+    fn sub(self, rhs: u64) -> Addr {
+        Addr(self.0 - rhs)
+    }
+}
+
+impl Sub<Addr> for Addr {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: Addr) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+/// A contiguous byte range inside an arena.
+///
+/// # Examples
+///
+/// ```
+/// use dsnrep_simcore::{Addr, Region};
+///
+/// let r = Region::new(Addr::new(100), 16);
+/// assert!(r.contains_range(Addr::new(104), 8));
+/// assert!(!r.contains_range(Addr::new(112), 8));
+/// assert_eq!(r.end(), Addr::new(116));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Region {
+    start: Addr,
+    len: u64,
+}
+
+impl Region {
+    /// Creates a region of `len` bytes starting at `start`.
+    #[inline]
+    pub const fn new(start: Addr, len: u64) -> Self {
+        Region { start, len }
+    }
+
+    /// The first address of the region.
+    #[inline]
+    pub const fn start(self) -> Addr {
+        self.start
+    }
+
+    /// The length in bytes.
+    #[inline]
+    pub const fn len(self) -> u64 {
+        self.len
+    }
+
+    /// Returns `true` if the region is empty.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// One past the last address of the region.
+    #[inline]
+    pub const fn end(self) -> Addr {
+        Addr::new(self.start.as_u64() + self.len)
+    }
+
+    /// Returns `true` if `addr` lies inside the region.
+    #[inline]
+    pub fn contains(self, addr: Addr) -> bool {
+        addr >= self.start && addr < self.end()
+    }
+
+    /// Returns `true` if the `len`-byte range at `addr` lies entirely inside
+    /// the region.
+    #[inline]
+    pub fn contains_range(self, addr: Addr, len: u64) -> bool {
+        addr >= self.start && addr.as_u64() + len <= self.end().as_u64()
+    }
+
+    /// Returns `true` if the two regions share at least one byte.
+    #[inline]
+    pub fn overlaps(self, other: Region) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:#x}..{:#x})",
+            self.start.as_u64(),
+            self.end().as_u64()
+        )
+    }
+}
+
+/// The accounting category of a write-through store, matching the data
+/// breakdown columns the paper reports in Tables 2, 5 and 7.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TrafficClass {
+    /// In-place database writes (and redo-record payloads for the active
+    /// backup): the paper's "Modified data".
+    Modified,
+    /// Recovery-data writes: undo-log payload copies (Versions 0 and 3) or
+    /// mirror writes (Versions 1 and 2): the paper's "Undo data".
+    Undo,
+    /// Bookkeeping writes: heap-allocator and list-pointer stores, set-range
+    /// arrays, log headers and pointers, commit flags, ring pointers: the
+    /// paper's "Meta-data".
+    Meta,
+}
+
+impl TrafficClass {
+    /// All classes, in table order.
+    pub const ALL: [TrafficClass; 3] = [
+        TrafficClass::Modified,
+        TrafficClass::Undo,
+        TrafficClass::Meta,
+    ];
+
+    /// A stable small index for per-class arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            TrafficClass::Modified => 0,
+            TrafficClass::Undo => 1,
+            TrafficClass::Meta => 2,
+        }
+    }
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            TrafficClass::Modified => "modified",
+            TrafficClass::Undo => "undo",
+            TrafficClass::Meta => "meta",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_alignment() {
+        assert_eq!(Addr::new(100).align_down(64), Addr::new(64));
+        assert_eq!(Addr::new(100).align_up(64), Addr::new(128));
+        assert_eq!(Addr::new(128).align_up(64), Addr::new(128));
+        assert_eq!(Addr::new(100).offset_in(64), 36);
+    }
+
+    #[test]
+    #[should_panic]
+    fn addr_align_rejects_non_power_of_two() {
+        let _ = Addr::new(1).align_down(48);
+    }
+
+    #[test]
+    fn addr_arithmetic() {
+        let a = Addr::new(10);
+        assert_eq!(a + 5, Addr::new(15));
+        assert_eq!(a - 3, Addr::new(7));
+        assert_eq!(Addr::new(15) - a, 5);
+        assert_eq!(a.checked_add(u64::MAX), None);
+    }
+
+    #[test]
+    fn region_containment() {
+        let r = Region::new(Addr::new(10), 10);
+        assert!(r.contains(Addr::new(10)));
+        assert!(r.contains(Addr::new(19)));
+        assert!(!r.contains(Addr::new(20)));
+        assert!(r.contains_range(Addr::new(12), 8));
+        assert!(!r.contains_range(Addr::new(12), 9));
+        assert!(r.contains_range(Addr::new(10), 10));
+    }
+
+    #[test]
+    fn region_overlap() {
+        let a = Region::new(Addr::new(0), 10);
+        let b = Region::new(Addr::new(9), 5);
+        let c = Region::new(Addr::new(10), 5);
+        assert!(a.overlaps(b));
+        assert!(!a.overlaps(c));
+        assert!(b.overlaps(c));
+    }
+
+    #[test]
+    fn empty_region() {
+        let r = Region::new(Addr::new(5), 0);
+        assert!(r.is_empty());
+        assert!(!r.contains(Addr::new(5)));
+    }
+
+    #[test]
+    fn traffic_class_indexing() {
+        for (i, c) in TrafficClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+}

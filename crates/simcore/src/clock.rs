@@ -1,0 +1,114 @@
+//! Per-stream virtual clock.
+
+use crate::time::{VirtualDuration, VirtualInstant};
+
+/// A monotone virtual clock owned by one simulated processor (stream).
+///
+/// Every cost in the simulation is charged by advancing a clock. Stalls on
+/// shared resources (the SAN link, a full redo ring) are modelled by jumping
+/// the clock forward to the time the resource frees up.
+///
+/// # Examples
+///
+/// ```
+/// use dsnrep_simcore::{Clock, VirtualDuration, VirtualInstant};
+///
+/// let mut clock = Clock::new();
+/// clock.advance(VirtualDuration::from_nanos(120));
+/// clock.advance_to(VirtualInstant::from_picos(50_000)); // earlier: no-op
+/// assert_eq!(clock.now().as_picos(), 120_000);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Clock {
+    now: VirtualInstant,
+    stalled: VirtualDuration,
+}
+
+impl Clock {
+    /// Creates a clock at the epoch.
+    pub fn new() -> Self {
+        Clock::default()
+    }
+
+    /// Creates a clock starting at `at`.
+    pub fn starting_at(at: VirtualInstant) -> Self {
+        Clock {
+            now: at,
+            stalled: VirtualDuration::ZERO,
+        }
+    }
+
+    /// The current virtual time.
+    #[inline]
+    pub fn now(&self) -> VirtualInstant {
+        self.now
+    }
+
+    /// Advances the clock by `d` (charging a cost).
+    #[inline]
+    pub fn advance(&mut self, d: VirtualDuration) {
+        self.now += d;
+    }
+
+    /// Jumps the clock forward to `t` if `t` is in the future, recording the
+    /// jump as stall time; does nothing otherwise.
+    #[inline]
+    pub fn advance_to(&mut self, t: VirtualInstant) {
+        if t > self.now {
+            self.stalled += t.duration_since(self.now);
+            self.now = t;
+        }
+    }
+
+    /// Total time this clock has spent stalled on shared resources
+    /// (see [`Clock::advance_to`]).
+    #[inline]
+    pub fn stalled(&self) -> VirtualDuration {
+        self.stalled
+    }
+
+    /// Resets the clock to the epoch and clears the stall accumulator.
+    pub fn reset(&mut self) {
+        *self = Clock::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_accumulates() {
+        let mut c = Clock::new();
+        c.advance(VirtualDuration::from_nanos(5));
+        c.advance(VirtualDuration::from_nanos(7));
+        assert_eq!(c.now().as_picos(), 12_000);
+        assert!(c.stalled().is_zero());
+    }
+
+    #[test]
+    fn advance_to_only_moves_forward_and_counts_stall() {
+        let mut c = Clock::new();
+        c.advance(VirtualDuration::from_nanos(10));
+        c.advance_to(VirtualInstant::from_picos(4_000)); // in the past
+        assert_eq!(c.now().as_picos(), 10_000);
+        assert!(c.stalled().is_zero());
+        c.advance_to(VirtualInstant::from_picos(25_000));
+        assert_eq!(c.now().as_picos(), 25_000);
+        assert_eq!(c.stalled().as_picos(), 15_000);
+    }
+
+    #[test]
+    fn starting_at_offsets_origin() {
+        let c = Clock::starting_at(VirtualInstant::from_picos(99));
+        assert_eq!(c.now().as_picos(), 99);
+    }
+
+    #[test]
+    fn reset_restores_epoch() {
+        let mut c = Clock::new();
+        c.advance(VirtualDuration::from_secs(1));
+        c.reset();
+        assert_eq!(c.now(), VirtualInstant::EPOCH);
+    }
+}

@@ -1,0 +1,346 @@
+//! Virtual time primitives.
+//!
+//! All simulated costs in this workspace are expressed in **picoseconds**.
+//! Picoseconds (rather than nanoseconds) avoid systematic rounding bias when
+//! charging sub-nanosecond per-byte costs, e.g. the ~4 ns/byte Memory Channel
+//! serialization cost split across individual stores.
+//!
+//! Two newtypes keep instants and durations from being confused
+//! (see C-NEWTYPE in the Rust API guidelines):
+//!
+//! * [`VirtualInstant`] — a point on a stream's virtual timeline.
+//! * [`VirtualDuration`] — a span of virtual time.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A span of virtual time, stored as picoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use dsnrep_simcore::VirtualDuration;
+///
+/// let d = VirtualDuration::from_nanos(3) + VirtualDuration::from_picos(500);
+/// assert_eq!(d.as_picos(), 3_500);
+/// assert_eq!(d * 2, VirtualDuration::from_picos(7_000));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtualDuration(u64);
+
+impl VirtualDuration {
+    /// The zero-length duration.
+    pub const ZERO: VirtualDuration = VirtualDuration(0);
+
+    /// Creates a duration from picoseconds.
+    #[inline]
+    pub const fn from_picos(picos: u64) -> Self {
+        VirtualDuration(picos)
+    }
+
+    /// Creates a duration from nanoseconds.
+    #[inline]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        VirtualDuration(nanos * 1_000)
+    }
+
+    /// Creates a duration from microseconds.
+    #[inline]
+    pub const fn from_micros(micros: u64) -> Self {
+        VirtualDuration(micros * 1_000_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    #[inline]
+    pub const fn from_millis(millis: u64) -> Self {
+        VirtualDuration(millis * 1_000_000_000)
+    }
+
+    /// Creates a duration from seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        VirtualDuration(secs * 1_000_000_000_000)
+    }
+
+    /// Creates a duration from a floating-point number of nanoseconds,
+    /// rounding to the nearest picosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nanos` is negative or not finite.
+    #[inline]
+    pub fn from_nanos_f64(nanos: f64) -> Self {
+        assert!(
+            nanos.is_finite() && nanos >= 0.0,
+            "duration must be finite and non-negative"
+        );
+        VirtualDuration((nanos * 1_000.0).round() as u64)
+    }
+
+    /// Returns the duration as whole picoseconds.
+    #[inline]
+    pub const fn as_picos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration as whole nanoseconds, truncating.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the duration as fractional microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Returns the duration as fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000_000.0
+    }
+
+    /// Returns `true` if this is the zero duration.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction; returns [`VirtualDuration::ZERO`] on underflow.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: VirtualDuration) -> VirtualDuration {
+        VirtualDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked multiplication by a scalar.
+    #[inline]
+    pub const fn checked_mul(self, rhs: u64) -> Option<VirtualDuration> {
+        match self.0.checked_mul(rhs) {
+            Some(v) => Some(VirtualDuration(v)),
+            None => None,
+        }
+    }
+}
+
+impl fmt::Display for VirtualDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps >= 1_000_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ps >= 1_000_000_000 {
+            write!(f, "{:.3}ms", ps as f64 / 1_000_000_000.0)
+        } else if ps >= 1_000_000 {
+            write!(f, "{:.3}us", ps as f64 / 1_000_000.0)
+        } else if ps >= 1_000 {
+            write!(f, "{:.3}ns", ps as f64 / 1_000.0)
+        } else {
+            write!(f, "{ps}ps")
+        }
+    }
+}
+
+impl Add for VirtualDuration {
+    type Output = VirtualDuration;
+    #[inline]
+    fn add(self, rhs: VirtualDuration) -> VirtualDuration {
+        VirtualDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for VirtualDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: VirtualDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for VirtualDuration {
+    type Output = VirtualDuration;
+    #[inline]
+    fn sub(self, rhs: VirtualDuration) -> VirtualDuration {
+        VirtualDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for VirtualDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: VirtualDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for VirtualDuration {
+    type Output = VirtualDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> VirtualDuration {
+        VirtualDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for VirtualDuration {
+    type Output = VirtualDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> VirtualDuration {
+        VirtualDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for VirtualDuration {
+    fn sum<I: Iterator<Item = VirtualDuration>>(iter: I) -> VirtualDuration {
+        iter.fold(VirtualDuration::ZERO, Add::add)
+    }
+}
+
+/// A point on a virtual timeline, stored as picoseconds since the start of
+/// the simulation.
+///
+/// # Examples
+///
+/// ```
+/// use dsnrep_simcore::{VirtualDuration, VirtualInstant};
+///
+/// let t0 = VirtualInstant::EPOCH;
+/// let t1 = t0 + VirtualDuration::from_micros(2);
+/// assert_eq!(t1.duration_since(t0), VirtualDuration::from_micros(2));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtualInstant(u64);
+
+impl VirtualInstant {
+    /// The start of simulated time.
+    pub const EPOCH: VirtualInstant = VirtualInstant(0);
+
+    /// Creates an instant `picos` picoseconds after the epoch.
+    #[inline]
+    pub const fn from_picos(picos: u64) -> Self {
+        VirtualInstant(picos)
+    }
+
+    /// Returns the instant as picoseconds since the epoch.
+    #[inline]
+    pub const fn as_picos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the elapsed time since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    #[inline]
+    pub fn duration_since(self, earlier: VirtualInstant) -> VirtualDuration {
+        assert!(
+            earlier.0 <= self.0,
+            "duration_since called with a later instant"
+        );
+        VirtualDuration(self.0 - earlier.0)
+    }
+
+    /// Returns the elapsed time since `earlier`, or zero if `earlier` is
+    /// later than `self`.
+    #[inline]
+    pub const fn saturating_duration_since(self, earlier: VirtualInstant) -> VirtualDuration {
+        VirtualDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the later of the two instants.
+    #[inline]
+    pub fn max(self, other: VirtualInstant) -> VirtualInstant {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for VirtualInstant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", VirtualDuration(self.0))
+    }
+}
+
+impl Add<VirtualDuration> for VirtualInstant {
+    type Output = VirtualInstant;
+    #[inline]
+    fn add(self, rhs: VirtualDuration) -> VirtualInstant {
+        VirtualInstant(self.0 + rhs.as_picos())
+    }
+}
+
+impl AddAssign<VirtualDuration> for VirtualInstant {
+    #[inline]
+    fn add_assign(&mut self, rhs: VirtualDuration) {
+        self.0 += rhs.as_picos();
+    }
+}
+
+impl Sub<VirtualDuration> for VirtualInstant {
+    type Output = VirtualInstant;
+    #[inline]
+    fn sub(self, rhs: VirtualDuration) -> VirtualInstant {
+        VirtualInstant(self.0 - rhs.as_picos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_conversions_round_trip() {
+        assert_eq!(VirtualDuration::from_nanos(5).as_picos(), 5_000);
+        assert_eq!(VirtualDuration::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(VirtualDuration::from_millis(2).as_picos(), 2_000_000_000);
+        assert_eq!(VirtualDuration::from_secs(1).as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = VirtualDuration::from_nanos(10);
+        let b = VirtualDuration::from_nanos(4);
+        assert_eq!(a + b, VirtualDuration::from_nanos(14));
+        assert_eq!(a - b, VirtualDuration::from_nanos(6));
+        assert_eq!(a * 3, VirtualDuration::from_nanos(30));
+        assert_eq!(a / 2, VirtualDuration::from_nanos(5));
+        assert_eq!(b.saturating_sub(a), VirtualDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_from_nanos_f64_rounds() {
+        assert_eq!(VirtualDuration::from_nanos_f64(4.0805).as_picos(), 4_081);
+        assert_eq!(VirtualDuration::from_nanos_f64(0.0), VirtualDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duration_from_nanos_f64_rejects_negative() {
+        let _ = VirtualDuration::from_nanos_f64(-1.0);
+    }
+
+    #[test]
+    fn instant_ordering_and_difference() {
+        let t0 = VirtualInstant::EPOCH;
+        let t1 = t0 + VirtualDuration::from_micros(7);
+        assert!(t1 > t0);
+        assert_eq!(t1.duration_since(t0).as_nanos(), 7_000);
+        assert_eq!(t0.saturating_duration_since(t1), VirtualDuration::ZERO);
+        assert_eq!(t0.max(t1), t1);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(VirtualDuration::from_picos(12).to_string(), "12ps");
+        assert_eq!(VirtualDuration::from_nanos(3).to_string(), "3.000ns");
+        assert_eq!(VirtualDuration::from_micros(5).to_string(), "5.000us");
+        assert_eq!(VirtualDuration::from_secs(2).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: VirtualDuration = (1..=4).map(VirtualDuration::from_nanos).sum();
+        assert_eq!(total, VirtualDuration::from_nanos(10));
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests: the direct-mapped cache model against a naive
+//! reference implementation.
+
+use dsnrep_simcore::{Addr, DirectMappedCache};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// The obviously correct model: a map from line index to tag.
+struct ReferenceCache {
+    lines: HashMap<u64, u64>,
+    capacity_lines: u64,
+    line: u64,
+}
+
+impl ReferenceCache {
+    fn new(capacity: u64, line: u64) -> Self {
+        ReferenceCache {
+            lines: HashMap::new(),
+            capacity_lines: capacity / line,
+            line,
+        }
+    }
+
+    fn touch(&mut self, addr: u64, len: u64) -> (u64, u64) {
+        let (mut hits, mut misses) = (0, 0);
+        if len == 0 {
+            return (0, 0);
+        }
+        let first = addr / self.line;
+        let last = (addr + len - 1) / self.line;
+        for tag in first..=last {
+            let idx = tag % self.capacity_lines;
+            if self.lines.get(&idx) == Some(&tag) {
+                hits += 1;
+            } else {
+                misses += 1;
+                self.lines.insert(idx, tag);
+            }
+        }
+        (hits, misses)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn model_matches_reference(
+        accesses in prop::collection::vec((0u64..1 << 20, 0u64..256), 1..300),
+    ) {
+        let mut model = DirectMappedCache::new(4096, 64);
+        let mut reference = ReferenceCache::new(4096, 64);
+        for (addr, len) in accesses {
+            let out = model.touch(Addr::new(addr), len);
+            let (hits, misses) = reference.touch(addr, len);
+            prop_assert_eq!((out.hits, out.misses), (hits, misses),
+                "divergence at addr {} len {}", addr, len);
+        }
+    }
+
+    #[test]
+    fn total_work_is_access_count(
+        accesses in prop::collection::vec((0u64..1 << 16, 1u64..128), 1..100),
+    ) {
+        let mut model = DirectMappedCache::new(1 << 14, 64);
+        let mut expected_lines = 0u64;
+        for (addr, len) in &accesses {
+            let first = addr / 64;
+            let last = (addr + len - 1) / 64;
+            expected_lines += last - first + 1;
+            model.touch(Addr::new(*addr), *len);
+        }
+        let s = model.stats();
+        prop_assert_eq!(s.hits + s.misses, expected_lines);
+    }
+}

@@ -1,0 +1,27 @@
+//! Quick calibration probe: standalone TPS per version and workload.
+use dsnrep_core::{build_engine, EngineConfig, Machine, VersionTag};
+use dsnrep_simcore::{CostModel, MIB};
+use dsnrep_workloads::{run_standalone, WorkloadKind};
+
+fn main() {
+    let txns: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    for wk in WorkloadKind::ALL {
+        for v in VersionTag::ALL {
+            let config = EngineConfig::for_db(50 * MIB);
+            let arena = dsnrep_core::shared_arena(dsnrep_core::arena_len(v, &config));
+            let mut m = Machine::standalone(CostModel::alpha_21164a(), arena);
+            let mut e = build_engine(v, &mut m, &config);
+            let mut w = wk.build(e.db_region(), 42);
+            let r = run_standalone(w.as_mut(), &mut m, e.as_mut(), txns);
+            println!(
+                "{:12} {:30} {:>10.0} TPS",
+                wk.name(),
+                v.paper_label(),
+                r.tps()
+            );
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! The transaction context: engine + machine + optional shadow oracle.
+//!
+//! Workloads issue their operations through a [`TxCtx`] so that correctness
+//! tests can attach a [`ShadowDb`] that observes exactly the same logical
+//! writes, and so the active-backup driver can observe writes for redo
+//! staging.
+
+use dsnrep_core::{Engine, Machine, ShadowDb, TxError};
+use dsnrep_simcore::{Addr, VirtualDuration};
+
+/// A callback observing each logical write (used by the active-backup
+/// driver to stage redo records).
+pub type WriteObserver<'a> = &'a mut dyn FnMut(Addr, &[u8]);
+
+/// A handle through which a workload runs one transaction.
+///
+/// Forwards every operation to the engine, mirrors writes into the optional
+/// shadow, and mirrors writes to an optional observer callback (used by the
+/// active-backup driver to stage redo records).
+pub struct TxCtx<'a> {
+    machine: &'a mut Machine,
+    engine: &'a mut dyn Engine,
+    shadow: Option<&'a mut ShadowDb>,
+    observer: Option<WriteObserver<'a>>,
+}
+
+impl std::fmt::Debug for TxCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxCtx")
+            .field("engine", &self.engine.version())
+            .field("has_shadow", &self.shadow.is_some())
+            .field("has_observer", &self.observer.is_some())
+            .finish()
+    }
+}
+
+impl<'a> TxCtx<'a> {
+    /// Creates a context without a shadow.
+    pub fn new(machine: &'a mut Machine, engine: &'a mut dyn Engine) -> Self {
+        TxCtx {
+            machine,
+            engine,
+            shadow: None,
+            observer: None,
+        }
+    }
+
+    /// Attaches a shadow oracle.
+    pub fn with_shadow(mut self, shadow: &'a mut ShadowDb) -> Self {
+        self.shadow = Some(shadow);
+        self
+    }
+
+    /// Attaches a write observer (e.g. the redo stager).
+    pub fn with_observer(mut self, observer: WriteObserver<'a>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Charges application-level CPU work (request parsing, item lookups,
+    /// formatting) that is part of the benchmark but not of the engine.
+    pub fn charge(&mut self, d: VirtualDuration) {
+        self.machine.charge(d);
+    }
+
+    /// Begins a transaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Engine::begin`] errors.
+    pub fn begin(&mut self) -> Result<(), TxError> {
+        self.engine.begin(self.machine)?;
+        if let Some(s) = self.shadow.as_deref_mut() {
+            s.begin();
+        }
+        Ok(())
+    }
+
+    /// Declares a writable range.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Engine::set_range`] errors.
+    pub fn set_range(&mut self, base: Addr, len: u64) -> Result<(), TxError> {
+        self.engine.set_range(self.machine, base, len)
+    }
+
+    /// Writes in place (within a declared range).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Engine::write`] errors.
+    pub fn write(&mut self, base: Addr, bytes: &[u8]) -> Result<(), TxError> {
+        self.engine.write(self.machine, base, bytes)?;
+        if let Some(s) = self.shadow.as_deref_mut() {
+            s.write(base, bytes);
+        }
+        if let Some(o) = self.observer.as_deref_mut() {
+            o(base, bytes);
+        }
+        Ok(())
+    }
+
+    /// Reads current bytes.
+    pub fn read(&mut self, base: Addr, buf: &mut [u8]) {
+        self.engine.read(self.machine, base, buf);
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&mut self, base: Addr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(base, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn read_i64(&mut self, base: Addr) -> i64 {
+        self.read_u64(base) as i64
+    }
+
+    /// Writes a little-endian `u64` (within a declared range).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Engine::write`] errors.
+    pub fn write_u64(&mut self, base: Addr, value: u64) -> Result<(), TxError> {
+        self.write(base, &value.to_le_bytes())
+    }
+
+    /// Writes a little-endian `i64` (within a declared range).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Engine::write`] errors.
+    pub fn write_i64(&mut self, base: Addr, value: i64) -> Result<(), TxError> {
+        self.write(base, &value.to_le_bytes())
+    }
+
+    /// Commits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Engine::commit`] errors.
+    pub fn commit(&mut self) -> Result<(), TxError> {
+        self.engine.commit(self.machine)?;
+        if let Some(s) = self.shadow.as_deref_mut() {
+            s.commit();
+        }
+        Ok(())
+    }
+
+    /// Aborts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Engine::abort`] errors.
+    pub fn abort(&mut self) -> Result<(), TxError> {
+        self.engine.abort(self.machine)?;
+        if let Some(s) = self.shadow.as_deref_mut() {
+            s.abort();
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,194 @@
+//! The Debit-Credit benchmark (the paper's TPC-B variant, §2.4).
+//!
+//! The database holds branches, tellers and accounts (16-byte records with
+//! an 8-byte balance) plus a circular in-memory audit trail — the paper
+//! replaces TPC-B's on-disk history file with a 2 MB circular buffer so the
+//! whole benchmark stays in recoverable memory.
+//!
+//! Each transaction updates the (32-bit, as on the paper's testbed) balance
+//! of a random account, the balances of the corresponding teller and
+//! branch, and appends a 16-byte history record: four `set_range`s,
+//! ~28 bytes modified, ~64 bytes of undo per transaction — matching the
+//! paper's per-transaction volumes (Table 2 divided by the run length).
+
+use dsnrep_core::TxError;
+use dsnrep_simcore::{Addr, Region, VirtualDuration, MIB};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ctx::TxCtx;
+use crate::Workload;
+
+const REC: u64 = 16;
+const HISTORY_REC: u64 = 16;
+const TELLERS_PER_BRANCH: u64 = 10;
+/// Accounts per branch (scaled down from TPC-B's 100 000 so small databases
+/// still have multiple branches).
+const ACCOUNTS_PER_BRANCH: u64 = 10_000;
+
+/// The Debit-Credit workload over a database region.
+///
+/// # Examples
+///
+/// ```
+/// use dsnrep_simcore::{Addr, Region};
+/// use dsnrep_workloads::DebitCredit;
+///
+/// let dc = DebitCredit::new(Region::new(Addr::new(4096), 10 * 1024 * 1024), 42);
+/// assert!(dc.accounts() >= 10_000);
+/// ```
+#[derive(Debug)]
+pub struct DebitCredit {
+    db: Region,
+    branches: u64,
+    tellers: u64,
+    accounts: u64,
+    tellers_at: u64,
+    accounts_at: u64,
+    history_at: u64,
+    history_slots: u64,
+    txns_issued: u64,
+    rng: SmallRng,
+}
+
+impl DebitCredit {
+    /// Lays out the benchmark inside `db`, deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is smaller than ~64 KB.
+    pub fn new(db: Region, seed: u64) -> Self {
+        assert!(
+            db.len() >= 64 * 1024,
+            "Debit-Credit needs at least 64 KB of database"
+        );
+        // The audit trail: 2 MB as in the paper, or a quarter of a smaller
+        // database.
+        let history_len = (2 * MIB).min(db.len() / 4);
+        let body = db.len() - history_len;
+        // Choose the branch count so branches+tellers+accounts fit.
+        let per_branch = REC + TELLERS_PER_BRANCH * REC + ACCOUNTS_PER_BRANCH * REC;
+        let branches = (body / per_branch).max(1);
+        let tellers = branches * TELLERS_PER_BRANCH;
+        let accounts = (body - branches * REC - tellers * REC) / REC;
+        let tellers_at = branches * REC;
+        let accounts_at = tellers_at + tellers * REC;
+        let history_at = accounts_at + accounts * REC;
+        let history_slots = (db.len() - history_at) / HISTORY_REC;
+        DebitCredit {
+            db,
+            branches,
+            tellers,
+            accounts,
+            tellers_at,
+            accounts_at,
+            history_at,
+            history_slots,
+            txns_issued: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of account records.
+    pub fn accounts(&self) -> u64 {
+        self.accounts
+    }
+
+    /// Number of branch records.
+    pub fn branches(&self) -> u64 {
+        self.branches
+    }
+
+    fn addr(&self, off: u64) -> Addr {
+        self.db.start() + off
+    }
+}
+
+impl Workload for DebitCredit {
+    fn name(&self) -> &'static str {
+        "Debit-Credit"
+    }
+
+    fn db_region(&self) -> Region {
+        self.db
+    }
+
+    fn run_txn(&mut self, ctx: &mut TxCtx<'_>) -> Result<(), TxError> {
+        let account = self.rng.gen_range(0..self.accounts);
+        let teller = self.rng.gen_range(0..self.tellers);
+        let branch = teller / TELLERS_PER_BRANCH;
+        let delta = self.rng.gen_range(-9_999i32..=9_999);
+
+        let account_at = self.addr(self.accounts_at + account * REC);
+        let teller_at = self.addr(self.tellers_at + teller * REC);
+        let branch_at = self.addr(branch * REC);
+
+        ctx.begin()?;
+        // Application logic outside the engine (request decode, account
+        // lookup arithmetic); calibrated against the paper's Table 3.
+        ctx.charge(VirtualDuration::from_nanos(800));
+
+        // Update the three balances (32-bit read-modify-write,
+        // whole-record set_range as Vista applications do).
+        for at in [account_at, teller_at, branch_at] {
+            ctx.set_range(at, REC)?;
+            let mut b = [0u8; 4];
+            ctx.read(at, &mut b);
+            let balance = i32::from_le_bytes(b);
+            ctx.write(at, &balance.wrapping_add(delta).to_le_bytes())?;
+        }
+
+        // Append to the circular audit trail (the slot index is derived
+        // from the stream's transaction counter, as Vista's benchmark does
+        // with its in-memory circular buffer).
+        let slot =
+            self.addr(self.history_at + (self.txns_issued % self.history_slots) * HISTORY_REC);
+        ctx.set_range(slot, HISTORY_REC)?;
+        let mut rec = [0u8; HISTORY_REC as usize];
+        rec[..4].copy_from_slice(&(account as u32).to_le_bytes());
+        rec[4..8].copy_from_slice(&(teller as u32).to_le_bytes());
+        rec[8..12].copy_from_slice(&delta.to_le_bytes());
+        rec[12..16].copy_from_slice(&(self.txns_issued as u32).to_le_bytes());
+        ctx.write(slot, &rec)?;
+        self.txns_issued += 1;
+
+        ctx.commit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_partitions_do_not_overlap() {
+        let dc = DebitCredit::new(Region::new(Addr::new(0), 10 * MIB), 1);
+        assert!(dc.branches >= 1);
+        assert_eq!(dc.tellers, dc.branches * TELLERS_PER_BRANCH);
+        let branches_end = dc.branches * REC;
+        assert_eq!(dc.tellers_at, branches_end);
+        let tellers_end = dc.tellers_at + dc.tellers * REC;
+        assert_eq!(dc.accounts_at, tellers_end);
+        let accounts_end = dc.accounts_at + dc.accounts * REC;
+        assert_eq!(dc.history_at, accounts_end);
+        assert!(dc.history_at + dc.history_slots * HISTORY_REC <= dc.db.len());
+        assert!(dc.history_slots > 1000);
+    }
+
+    #[test]
+    fn fifty_mb_database_matches_paper_scale() {
+        let dc = DebitCredit::new(Region::new(Addr::new(0), 50 * MIB), 1);
+        // ~48 MB of records at 16 B each with 2 MB history.
+        assert!(dc.accounts() > 2_000_000, "{}", dc.accounts());
+        assert!(dc.branches() > 100);
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = DebitCredit::new(Region::new(Addr::new(0), MIB), 9);
+        let mut b = DebitCredit::new(Region::new(Addr::new(0), MIB), 9);
+        for _ in 0..10 {
+            assert_eq!(a.rng.gen::<u64>(), b.rng.gen::<u64>());
+        }
+    }
+}

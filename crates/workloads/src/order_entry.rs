@@ -1,0 +1,322 @@
+//! The Order-Entry benchmark (the paper's TPC-C variant, §2.4).
+//!
+//! TPC-C models a wholesale supplier. Order-Entry keeps the three TPC-C
+//! transaction types that *update* the database — New-Order, Payment and
+//! Delivery — and drops the read-only ones, so every transaction exercises
+//! the undo/replication machinery. Transactions touch more, and larger,
+//! records than Debit-Credit (a New-Order writes a district, several stock
+//! records, an order header and its order lines), which is why the paper's
+//! per-transaction undo volume is ~7x Debit-Credit's.
+//!
+//! The database is scaled by warehouses: each warehouse carries 10
+//! districts, 3 000 customers and 10 000 stock records, plus a circular
+//! ring of order slots per district.
+
+use dsnrep_core::TxError;
+use dsnrep_simcore::{Addr, Region, VirtualDuration};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ctx::TxCtx;
+use crate::Workload;
+
+const WAREHOUSE_REC: u64 = 32;
+const DISTRICT_REC: u64 = 48;
+const CUSTOMER_REC: u64 = 64;
+const STOCK_REC: u64 = 32;
+const ORDER_HDR: u64 = 32;
+const ORDER_LINE: u64 = 16;
+const MAX_LINES: u64 = 10;
+const ORDER_SLOT: u64 = ORDER_HDR + MAX_LINES * ORDER_LINE; // 192
+
+const DISTRICTS_PER_W: u64 = 10;
+const CUSTOMERS_PER_W: u64 = 3_000;
+const STOCKS_PER_W: u64 = 10_000;
+const ORDER_SLOTS_PER_DISTRICT: u64 = 256;
+
+/// Per-warehouse byte footprint.
+const PER_W: u64 = WAREHOUSE_REC
+    + DISTRICTS_PER_W * DISTRICT_REC
+    + CUSTOMERS_PER_W * CUSTOMER_REC
+    + STOCKS_PER_W * STOCK_REC
+    + DISTRICTS_PER_W * ORDER_SLOTS_PER_DISTRICT * ORDER_SLOT;
+
+/// District record fields.
+const D_YTD: u64 = 0;
+const D_NEXT_O: u64 = 8;
+const D_DELIVERED: u64 = 16;
+
+/// The Order-Entry workload over a database region.
+///
+/// # Examples
+///
+/// ```
+/// use dsnrep_simcore::{Addr, Region};
+/// use dsnrep_workloads::OrderEntry;
+///
+/// let oe = OrderEntry::new(Region::new(Addr::new(0), 10 * 1024 * 1024), 7);
+/// assert!(oe.warehouses() >= 1);
+/// ```
+#[derive(Debug)]
+pub struct OrderEntry {
+    db: Region,
+    warehouses: u64,
+    districts_at: u64,
+    customers_at: u64,
+    stocks_at: u64,
+    orders_at: u64,
+    rng: SmallRng,
+}
+
+impl OrderEntry {
+    /// Lays out the benchmark inside `db`, deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region cannot hold one warehouse (~3 MB).
+    pub fn new(db: Region, seed: u64) -> Self {
+        let warehouses = db.len() / PER_W;
+        assert!(
+            warehouses >= 1,
+            "Order-Entry needs at least {PER_W} bytes, got {}",
+            db.len()
+        );
+        let districts_at = warehouses * WAREHOUSE_REC;
+        let customers_at = districts_at + warehouses * DISTRICTS_PER_W * DISTRICT_REC;
+        let stocks_at = customers_at + warehouses * CUSTOMERS_PER_W * CUSTOMER_REC;
+        let orders_at = stocks_at + warehouses * STOCKS_PER_W * STOCK_REC;
+        OrderEntry {
+            db,
+            warehouses,
+            districts_at,
+            customers_at,
+            stocks_at,
+            orders_at,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of warehouses the region holds.
+    pub fn warehouses(&self) -> u64 {
+        self.warehouses
+    }
+
+    fn addr(&self, off: u64) -> Addr {
+        self.db.start() + off
+    }
+
+    fn warehouse_at(&self, w: u64) -> Addr {
+        self.addr(w * WAREHOUSE_REC)
+    }
+
+    fn district_at(&self, w: u64, d: u64) -> Addr {
+        self.addr(self.districts_at + (w * DISTRICTS_PER_W + d) * DISTRICT_REC)
+    }
+
+    fn customer_at(&self, w: u64, c: u64) -> Addr {
+        self.addr(self.customers_at + (w * CUSTOMERS_PER_W + c) * CUSTOMER_REC)
+    }
+
+    fn stock_at(&self, w: u64, s: u64) -> Addr {
+        self.addr(self.stocks_at + (w * STOCKS_PER_W + s) * STOCK_REC)
+    }
+
+    fn order_at(&self, w: u64, d: u64, o: u64) -> Addr {
+        self.addr(
+            self.orders_at
+                + ((w * DISTRICTS_PER_W + d) * ORDER_SLOTS_PER_DISTRICT
+                    + o % ORDER_SLOTS_PER_DISTRICT)
+                    * ORDER_SLOT,
+        )
+    }
+
+    fn new_order(&mut self, ctx: &mut TxCtx<'_>) -> Result<(), TxError> {
+        let w = self.rng.gen_range(0..self.warehouses);
+        let d = self.rng.gen_range(0..DISTRICTS_PER_W);
+        let c = self.rng.gen_range(0..CUSTOMERS_PER_W);
+        let lines = self.rng.gen_range(5..=MAX_LINES);
+
+        ctx.begin()?;
+        // TPC-C New-Order application logic (item lookups, pricing, string
+        // fields we do not materialize); calibrated against Table 3.
+        ctx.charge(VirtualDuration::from_nanos(8_000));
+        // Allocate the order id from the district.
+        let district = self.district_at(w, d);
+        ctx.set_range(district, DISTRICT_REC)?;
+        let o_id = ctx.read_u64(district + D_NEXT_O);
+        ctx.write_u64(district + D_NEXT_O, o_id + 1)?;
+
+        // Write the order header + lines into the slot.
+        let order = self.order_at(w, d, o_id);
+        ctx.set_range(order, ORDER_HDR + lines * ORDER_LINE)?;
+        let mut hdr = [0u8; 16];
+        hdr[..4].copy_from_slice(&(c as u32).to_le_bytes());
+        hdr[4..8].copy_from_slice(&(lines as u32).to_le_bytes());
+        hdr[8..16].copy_from_slice(&o_id.to_le_bytes());
+        ctx.write(order, &hdr)?;
+
+        let mut total = 0i64;
+        for l in 0..lines {
+            let item = self.rng.gen_range(0..STOCKS_PER_W);
+            let qty = i64::from(self.rng.gen_range(1..=10u32));
+            let price = i64::from(self.rng.gen_range(1..=100u32));
+            total += qty * price;
+
+            // Stock: decrement quantity and bump ytd, packed as two 32-bit
+            // counters updated with one 8-byte store.
+            let stock = self.stock_at(w, item);
+            ctx.set_range(stock, STOCK_REC)?;
+            let word = ctx.read_u64(stock);
+            let quantity = (word & 0xFFFF_FFFF) as u32;
+            let ytd = (word >> 32) as u32;
+            let updated = u64::from(quantity.wrapping_sub(qty as u32))
+                | (u64::from(ytd.wrapping_add(qty as u32)) << 32);
+            ctx.write_u64(stock, updated)?;
+
+            // The order line.
+            let line = order + ORDER_HDR + l * ORDER_LINE;
+            let mut rec = [0u8; ORDER_LINE as usize];
+            rec[..4].copy_from_slice(&(item as u32).to_le_bytes());
+            rec[4..8].copy_from_slice(&(qty as u32).to_le_bytes());
+            rec[8..16].copy_from_slice(&(qty * price).to_le_bytes());
+            ctx.write(line, &rec)?;
+        }
+        let _ = total;
+        ctx.commit()
+    }
+
+    fn payment(&mut self, ctx: &mut TxCtx<'_>) -> Result<(), TxError> {
+        let w = self.rng.gen_range(0..self.warehouses);
+        let d = self.rng.gen_range(0..DISTRICTS_PER_W);
+        let c = self.rng.gen_range(0..CUSTOMERS_PER_W);
+        let amount = i64::from(self.rng.gen_range(1..=5_000u32));
+
+        ctx.begin()?;
+        // TPC-C Payment application logic.
+        ctx.charge(VirtualDuration::from_nanos(4_500));
+        let warehouse = self.warehouse_at(w);
+        ctx.set_range(warehouse, WAREHOUSE_REC)?;
+        let ytd = ctx.read_i64(warehouse);
+        ctx.write_i64(warehouse, ytd + amount)?;
+
+        let district = self.district_at(w, d);
+        ctx.set_range(district, DISTRICT_REC)?;
+        let ytd = ctx.read_i64(district + D_YTD);
+        ctx.write_i64(district + D_YTD, ytd + amount)?;
+
+        let customer = self.customer_at(w, c);
+        ctx.set_range(customer, CUSTOMER_REC)?;
+        let balance = ctx.read_i64(customer);
+        ctx.write_i64(customer, balance - amount)?;
+        let ytd_payment = ctx.read_i64(customer + 8);
+        ctx.write_i64(customer + 8, ytd_payment + amount)?;
+        let count = ctx.read_u64(customer + 16);
+        ctx.write_u64(customer + 16, count + 1)?;
+
+        ctx.commit()
+    }
+
+    fn delivery(&mut self, ctx: &mut TxCtx<'_>) -> Result<(), TxError> {
+        let w = self.rng.gen_range(0..self.warehouses);
+        let d = self.rng.gen_range(0..DISTRICTS_PER_W);
+
+        ctx.begin()?;
+        // TPC-C Delivery application logic.
+        ctx.charge(VirtualDuration::from_nanos(5_000));
+        let district = self.district_at(w, d);
+        ctx.set_range(district, DISTRICT_REC)?;
+        let next_o = ctx.read_u64(district + D_NEXT_O);
+        let delivered = ctx.read_u64(district + D_DELIVERED);
+        if delivered >= next_o {
+            // Nothing to deliver in this district: fall back to a payment
+            // so the stream keeps issuing update transactions.
+            ctx.abort()?;
+            return self.payment(ctx);
+        }
+        ctx.write_u64(district + D_DELIVERED, delivered + 1)?;
+
+        // Mark the order delivered and settle the customer.
+        let order = self.order_at(w, d, delivered);
+        ctx.set_range(order, ORDER_HDR)?;
+        let mut hdr = [0u8; 8];
+        ctx.read(order, &mut hdr[..4]);
+        let c =
+            u64::from(u32::from_le_bytes(hdr[..4].try_into().expect("4 bytes"))) % CUSTOMERS_PER_W;
+        ctx.write(order + 16, &1u64.to_le_bytes())?; // carrier assigned
+
+        let customer = self.customer_at(w, c);
+        ctx.set_range(customer, CUSTOMER_REC)?;
+        let deliveries = ctx.read_u64(customer + 24);
+        ctx.write_u64(customer + 24, deliveries + 1)?;
+
+        ctx.commit()
+    }
+}
+
+impl Workload for OrderEntry {
+    fn name(&self) -> &'static str {
+        "Order-Entry"
+    }
+
+    fn db_region(&self) -> Region {
+        self.db
+    }
+
+    fn run_txn(&mut self, ctx: &mut TxCtx<'_>) -> Result<(), TxError> {
+        // TPC-C's update mix, renormalized without the read-only types:
+        // New-Order 49%, Payment 47%, Delivery 4%.
+        let pick = self.rng.gen_range(0..100u32);
+        if pick < 49 {
+            self.new_order(ctx)
+        } else if pick < 96 {
+            self.payment(ctx)
+        } else {
+            self.delivery(ctx)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warehouse_scaling() {
+        let oe = OrderEntry::new(Region::new(Addr::new(0), 50 * 1024 * 1024), 1);
+        assert!(oe.warehouses() >= 8, "{}", oe.warehouses());
+        // Every table ends before the region does.
+        let last_order = oe.order_at(
+            oe.warehouses - 1,
+            DISTRICTS_PER_W - 1,
+            ORDER_SLOTS_PER_DISTRICT - 1,
+        );
+        assert!(last_order.as_u64() + ORDER_SLOT <= oe.db.end().as_u64());
+    }
+
+    #[test]
+    fn record_addresses_are_disjoint_across_tables() {
+        let oe = OrderEntry::new(Region::new(Addr::new(0), 10 * 1024 * 1024), 1);
+        assert!(oe.warehouse_at(oe.warehouses - 1).as_u64() + WAREHOUSE_REC <= oe.districts_at);
+        assert!(
+            oe.district_at(oe.warehouses - 1, DISTRICTS_PER_W - 1)
+                .as_u64()
+                + DISTRICT_REC
+                <= oe.customers_at
+        );
+        assert!(
+            oe.customer_at(oe.warehouses - 1, CUSTOMERS_PER_W - 1)
+                .as_u64()
+                + CUSTOMER_REC
+                <= oe.stocks_at
+        );
+        assert!(
+            oe.stock_at(oe.warehouses - 1, STOCKS_PER_W - 1).as_u64() + STOCK_REC <= oe.orders_at
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_small_region_panics() {
+        let _ = OrderEntry::new(Region::new(Addr::new(0), 1024), 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Workload-level correctness: both benchmarks, all four engines, verified
+//! against the shadow oracle, plus workload-specific invariants.
+
+use dsnrep_core::{build_engine, EngineConfig, Machine, ShadowDb, VersionTag};
+use dsnrep_simcore::{CostModel, MIB};
+use dsnrep_workloads::{DebitCredit, OrderEntry, TxCtx, Workload, WorkloadKind};
+
+fn db_len(kind: WorkloadKind) -> u64 {
+    match kind {
+        WorkloadKind::DebitCredit => MIB,
+        WorkloadKind::OrderEntry => 4 * MIB,
+    }
+}
+
+#[test]
+fn workloads_match_shadow_on_every_engine() {
+    for kind in WorkloadKind::ALL {
+        for version in VersionTag::ALL {
+            let config = EngineConfig::for_db(db_len(kind));
+            let arena = dsnrep_core::shared_arena(dsnrep_core::arena_len(version, &config));
+            let mut m = Machine::standalone(CostModel::alpha_21164a(), arena);
+            let mut engine = build_engine(version, &mut m, &config);
+            let mut workload = kind.build(engine.db_region(), 99);
+            let mut shadow = ShadowDb::new(engine.db_region());
+            for _ in 0..500 {
+                let mut ctx = TxCtx::new(&mut m, engine.as_mut()).with_shadow(&mut shadow);
+                workload.run_txn(&mut ctx).expect("transaction");
+            }
+            assert!(
+                shadow.matches(&m.arena().borrow()),
+                "{kind}/{version}: first mismatch at offset {:?}",
+                shadow.first_mismatch(&m.arena().borrow())
+            );
+            assert_eq!(
+                engine.committed_seq(&mut m),
+                shadow.seq(),
+                "{kind}/{version}"
+            );
+        }
+    }
+}
+
+#[test]
+fn debit_credit_conserves_money() {
+    // Every transaction moves the same delta into an account, a teller and
+    // a branch, so the three populations' totals remain equal.
+    let config = EngineConfig::for_db(MIB);
+    let arena = dsnrep_core::shared_arena(dsnrep_core::arena_len(VersionTag::ImprovedLog, &config));
+    let mut m = Machine::standalone(CostModel::alpha_21164a(), arena);
+    let mut engine = build_engine(VersionTag::ImprovedLog, &mut m, &config);
+    let db = engine.db_region();
+    let mut workload = DebitCredit::new(db, 4);
+    for _ in 0..2_000 {
+        let mut ctx = TxCtx::new(&mut m, engine.as_mut());
+        workload.run_txn(&mut ctx).expect("transaction");
+    }
+    // Sum balances per population directly from the arena.
+    let arena = m.arena().borrow();
+    let rec = 16u64;
+    let sum = |start: u64, count: u64| -> i64 {
+        (0..count)
+            .map(|i| arena.read_u32(db.start() + start + i * rec) as i32 as i64)
+            .sum()
+    };
+    let branches = workload.branches();
+    let tellers = branches * 10;
+    let accounts = workload.accounts();
+    let branch_total = sum(0, branches);
+    let teller_total = sum(branches * rec, tellers);
+    let account_total = sum(branches * rec + tellers * rec, accounts);
+    assert_eq!(branch_total, teller_total, "branch vs teller totals");
+    assert_eq!(teller_total, account_total, "teller vs account totals");
+}
+
+#[test]
+fn order_entry_mix_is_roughly_tpcc() {
+    // New-Order allocates district order ids; Payment bumps warehouse ytd.
+    // Run a long stream and check both actually happen with sane weights
+    // by observing database state.
+    let config = EngineConfig::for_db(4 * MIB);
+    let arena = dsnrep_core::shared_arena(dsnrep_core::arena_len(VersionTag::ImprovedLog, &config));
+    let mut m = Machine::standalone(CostModel::alpha_21164a(), arena);
+    let mut engine = build_engine(VersionTag::ImprovedLog, &mut m, &config);
+    let db = engine.db_region();
+    let mut workload = OrderEntry::new(db, 77);
+    let txns = 4_000u64;
+    for _ in 0..txns {
+        let mut ctx = TxCtx::new(&mut m, engine.as_mut());
+        workload.run_txn(&mut ctx).expect("transaction");
+    }
+    let arena = m.arena().borrow();
+    // Orders issued = sum of district next_o_id (district records start
+    // after the warehouse records).
+    let w = workload.warehouses();
+    let districts_at = w * 32;
+    let orders: u64 = (0..w * 10)
+        .map(|d| arena.read_u64(db.start() + districts_at + d * 48 + 8))
+        .sum();
+    let frac = orders as f64 / txns as f64;
+    assert!(
+        (0.40..0.60).contains(&frac),
+        "New-Order fraction {frac:.2} should be near 0.49"
+    );
+    // Warehouse year-to-date totals only grow via Payments.
+    let ytd: i64 = (0..w).map(|i| arena.read_i64(db.start() + i * 32)).sum();
+    assert!(ytd > 0, "payments must have happened");
+}
+
+#[test]
+fn deterministic_across_identical_runs() {
+    // Same seed, same engine => byte-identical database and identical
+    // virtual time (the whole-simulation determinism the experiments rely
+    // on).
+    let run = || {
+        let config = EngineConfig::for_db(MIB);
+        let arena =
+            dsnrep_core::shared_arena(dsnrep_core::arena_len(VersionTag::MirrorDiff, &config));
+        let mut m = Machine::standalone(CostModel::alpha_21164a(), arena);
+        let mut engine = build_engine(VersionTag::MirrorDiff, &mut m, &config);
+        let mut workload = DebitCredit::new(engine.db_region(), 1234);
+        for _ in 0..500 {
+            let mut ctx = TxCtx::new(&mut m, engine.as_mut());
+            workload.run_txn(&mut ctx).expect("transaction");
+        }
+        let db = engine.db_region();
+        let image = m.arena().borrow().read_vec(db.start(), db.len() as usize);
+        (m.now(), image)
+    };
+    let (t1, image1) = run();
+    let (t2, image2) = run();
+    assert_eq!(t1, t2, "virtual time must be deterministic");
+    assert_eq!(image1, image2, "database image must be deterministic");
+}
+
+#[test]
+fn per_txn_volume_matches_paper_table2_scale() {
+    // Debit-Credit: ~28 B modified and ~64 B undo per transaction (paper
+    // Table 2 divided by the run length of 4.98 M transactions).
+    use dsnrep_repl::PassiveCluster;
+    use dsnrep_simcore::TrafficClass;
+    let config = EngineConfig::for_db(MIB);
+    let mut cluster =
+        PassiveCluster::new(CostModel::alpha_21164a(), VersionTag::ImprovedLog, &config);
+    let mut workload = DebitCredit::new(cluster.engine().db_region(), 8);
+    let txns = 2_000u64;
+    cluster.run(&mut workload, txns);
+    let t = cluster.traffic();
+    let per_txn = |c: TrafficClass| t.bytes(c) as f64 / txns as f64;
+    let modified = per_txn(TrafficClass::Modified);
+    let undo = per_txn(TrafficClass::Undo);
+    assert!(
+        (20.0..40.0).contains(&modified),
+        "modified {modified:.1} B/txn (paper: 28.3)"
+    );
+    assert!(
+        (50.0..80.0).contains(&undo),
+        "undo {undo:.1} B/txn (paper: 65)"
+    );
+}

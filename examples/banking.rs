@@ -1,0 +1,83 @@
+//! A banking service on an active-backup cluster, with a monitored
+//! failover: the Debit-Credit workload (the paper's TPC-B variant) runs on
+//! the primary while the backup applies the redo ring; a heartbeat detector
+//! notices the crash and the takeover timeline is reported.
+//!
+//! ```text
+//! cargo run --release --example banking
+//! ```
+
+use dsnrep::cluster::{takeover_timeline, HeartbeatConfig, NodeId, ViewManager};
+use dsnrep::core::EngineConfig;
+use dsnrep::repl::ActiveCluster;
+use dsnrep::simcore::{CostModel, TrafficClass, VirtualDuration, VirtualInstant, MIB};
+use dsnrep::workloads::{DebitCredit, Workload};
+
+fn main() {
+    let costs = CostModel::alpha_21164a();
+    let config = EngineConfig::for_db(10 * MIB);
+    let mut cluster = ActiveCluster::new(costs.clone(), &config);
+    let mut workload = DebitCredit::new(cluster.db_region(), 2026);
+    println!(
+        "banking database: {} accounts across {} branches",
+        workload.accounts(),
+        workload.branches()
+    );
+
+    // Serve the morning's traffic.
+    let report = cluster.run(&mut workload, 50_000);
+    println!("primary: {report}");
+    let traffic = cluster.traffic();
+    println!(
+        "redo shipped: {:.2} MB data + {:.2} MB headers/cursors, mean packet {:.1} B",
+        traffic.mib(TrafficClass::Modified),
+        traffic.mib(TrafficClass::Meta),
+        traffic.mean_packet_size()
+    );
+    println!(
+        "backup has applied {} transactions",
+        cluster.backup_applied_seq()
+    );
+
+    // The primary dies mid-stream. The cluster layer computes the outage;
+    // the replication layer performs the takeover.
+    let crash_at = cluster.machine().now();
+    let mut views = ViewManager::new(NodeId::new(0), vec![NodeId::new(1)], VirtualInstant::EPOCH);
+    let failover = cluster.crash_primary().expect("backup arena is formatted");
+    let lost = 50_000 - failover.report.committed_seq;
+    // Engine recovery on the backup is nearly instant for the active
+    // scheme (whole transactions only); budget a round millisecond for the
+    // service restart on top of detection.
+    let timeline = takeover_timeline(
+        HeartbeatConfig::default(),
+        costs.link_latency,
+        crash_at,
+        VirtualDuration::from_millis(1),
+        &mut views,
+    )
+    .expect("a backup exists");
+    println!(
+        "crash at {}: detected at {}, serving again at {} (outage {})",
+        timeline.crashed_at,
+        timeline.detected_at,
+        timeline.serving_at,
+        timeline.outage()
+    );
+    println!(
+        "1-safe window: {} committed transaction(s) lost; backup state is a \
+         clean transaction boundary at seq {}",
+        lost, failover.report.committed_seq
+    );
+    println!("new primary: {}", views.current().primary());
+
+    // And the promoted node keeps the books open.
+    let mut machine = failover.machine;
+    let mut engine = failover.engine;
+    for _ in 0..1_000 {
+        let mut ctx = dsnrep::workloads::TxCtx::new(&mut machine, engine.as_mut());
+        workload
+            .run_txn(&mut ctx)
+            .expect("post-failover transaction");
+    }
+    println!("promoted backup served 1000 transactions; books are open");
+}

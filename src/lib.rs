@@ -1,0 +1,33 @@
+//! # dsnrep — data replication strategies on commodity clusters
+//!
+//! A comprehensive Rust reproduction of *"Data Replication Strategies for
+//! Fault Tolerance and Availability on Commodity Clusters"* (Amza, Cox,
+//! Zwaenepoel — DSN 2000): a Vista-style recoverable-memory transaction
+//! system, four engine structures (Vista, mirror-by-copy, mirror-by-diff,
+//! improved log), passive and active primary-backup replication over a
+//! modelled Memory Channel SAN, and the full evaluation harness.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`simcore`] | `dsnrep-simcore` | virtual time, cache model, cost model |
+//! | [`rio`] | `dsnrep-rio` | recoverable-memory arena + heap |
+//! | [`mcsim`] | `dsnrep-mcsim` | Memory Channel model |
+//! | [`core`] | `dsnrep-core` | the four transaction engines |
+//! | [`repl`] | `dsnrep-repl` | passive/active clusters, SMP driver |
+//! | [`cluster`] | `dsnrep-cluster` | failure detection + membership |
+//! | [`workloads`] | `dsnrep-workloads` | Debit-Credit and Order-Entry |
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, and the
+//! `dsnrep-bench` crate for the paper's tables and figures.
+
+#![forbid(unsafe_code)]
+
+pub use dsnrep_cluster as cluster;
+pub use dsnrep_core as core;
+pub use dsnrep_mcsim as mcsim;
+pub use dsnrep_repl as repl;
+pub use dsnrep_rio as rio;
+pub use dsnrep_simcore as simcore;
+pub use dsnrep_workloads as workloads;

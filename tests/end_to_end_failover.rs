@@ -1,0 +1,106 @@
+//! End-to-end availability: heartbeat detection + view change + engine
+//! takeover, across the cluster and replication crates.
+
+use dsnrep::cluster::{takeover_timeline, HeartbeatConfig, NodeId, Role, ViewManager};
+use dsnrep::core::{EngineConfig, VersionTag};
+use dsnrep::repl::{ActiveCluster, PassiveCluster};
+use dsnrep::simcore::{CostModel, VirtualDuration, VirtualInstant, MIB};
+use dsnrep::workloads::{TxCtx, WorkloadKind};
+
+#[test]
+fn detected_failover_ends_with_a_serving_backup() {
+    for version in VersionTag::ALL {
+        let config = EngineConfig::for_db(MIB);
+        let mut cluster = PassiveCluster::new(CostModel::alpha_21164a(), version, &config);
+        let mut workload = WorkloadKind::DebitCredit.build(cluster.engine().db_region(), 9);
+        cluster.run(workload.as_mut(), 500);
+
+        // The failure detector on the backup notices the silence.
+        let crash_at = cluster.machine().now();
+        let mut views =
+            ViewManager::new(NodeId::new(0), vec![NodeId::new(1)], VirtualInstant::EPOCH);
+        let timeline = takeover_timeline(
+            HeartbeatConfig::default(),
+            CostModel::alpha_21164a().link_latency,
+            crash_at,
+            VirtualDuration::from_millis(1),
+            &mut views,
+        )
+        .expect("two-node cluster");
+        assert!(timeline.detected_at > crash_at, "{version}");
+        assert!(
+            timeline.outage() < VirtualDuration::from_millis(10),
+            "{version}: outage {} too long",
+            timeline.outage()
+        );
+        assert_eq!(views.current().primary(), NodeId::new(1));
+        assert_eq!(views.current().role_of(NodeId::new(0)), None);
+
+        // The replication layer performs the takeover the view demands.
+        let mut failover = cluster.crash_primary();
+        assert!(failover.report.committed_seq <= 500, "{version}");
+        for _ in 0..100 {
+            let mut ctx = TxCtx::new(&mut failover.machine, failover.engine.as_mut());
+            workload
+                .run_txn(&mut ctx)
+                .unwrap_or_else(|e| panic!("{version}: {e}"));
+        }
+        assert_eq!(
+            failover.engine.committed_seq(&mut failover.machine),
+            failover.report.committed_seq + 100,
+            "{version}"
+        );
+    }
+}
+
+#[test]
+fn active_cluster_failover_then_rejoin_view() {
+    let config = EngineConfig::for_db(MIB);
+    let mut cluster = ActiveCluster::new(CostModel::alpha_21164a(), &config);
+    let mut workload = WorkloadKind::DebitCredit.build(cluster.db_region(), 17);
+    cluster.run(workload.as_mut(), 800);
+    let crash_at = cluster.machine().now();
+
+    let mut views = ViewManager::new(NodeId::new(0), vec![NodeId::new(1)], VirtualInstant::EPOCH);
+    let timeline = takeover_timeline(
+        HeartbeatConfig::default(),
+        CostModel::alpha_21164a().link_latency,
+        crash_at,
+        VirtualDuration::from_micros(100), // active recovery applies only whole txns
+        &mut views,
+    )
+    .expect("two-node cluster");
+    let failover = cluster.crash_primary().expect("backup formats");
+    assert!(failover.report.committed_seq >= 800 - 32);
+
+    // The old primary reboots, resynchronizes, and rejoins as a backup.
+    let rejoin_at = timeline.serving_at + VirtualDuration::from_secs(1);
+    let view = views.join(NodeId::new(0), rejoin_at);
+    assert_eq!(view.primary(), NodeId::new(1));
+    assert_eq!(view.role_of(NodeId::new(0)), Some(Role::Backup));
+    assert_eq!(view.epoch(), 3);
+}
+
+#[test]
+fn backup_arena_tracks_primary_for_replicated_regions() {
+    // After a graceful quiesce, every write-through region must be
+    // byte-identical on the backup (the mapping invariant the paper's
+    // failover rests on).
+    for version in VersionTag::ALL {
+        let config = EngineConfig::for_db(MIB);
+        let mut cluster = PassiveCluster::new(CostModel::alpha_21164a(), version, &config);
+        let mut workload = WorkloadKind::DebitCredit.build(cluster.engine().db_region(), 5);
+        cluster.run(workload.as_mut(), 400);
+        cluster.quiesce();
+        let regions = cluster.engine().replicated_regions();
+        let primary = cluster.machine().arena().borrow().clone();
+        let backup = cluster.backup_arena().borrow().clone();
+        for region in regions {
+            assert_eq!(
+                primary.region_vec(region),
+                backup.region_vec(region),
+                "{version}: replicated region {region} diverged"
+            );
+        }
+    }
+}

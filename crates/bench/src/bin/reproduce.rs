@@ -19,12 +19,44 @@ fn main() {
         scale.debit_credit, scale.order_entry, scale.smp_per_stream
     );
 
+    // Compute every report section concurrently (each section fans its
+    // cells out further via `par_cells`); printing below stays strictly in
+    // report order. Cells are fully independent simulations, so this
+    // changes wall-clock time only, never a simulated result.
+    let (mut fig1, mut table1, mut table2, mut instr) = (None, None, None, None);
+    let (mut table3, mut t45, mut t67, mut table8) = (None, None, None, None);
+    let (mut fig2, mut fig3) = (None, None);
+    std::thread::scope(|s| {
+        s.spawn(|| fig1 = Some(experiments::figure1()));
+        s.spawn(|| table1 = Some(experiments::table1(scale)));
+        s.spawn(|| table2 = Some(experiments::table2(scale)));
+        s.spawn(|| {
+            instr = Some(experiments::standalone_instrumentation(
+                WorkloadKind::DebitCredit,
+                scale.debit_credit,
+            ))
+        });
+        s.spawn(|| table3 = Some(experiments::table3(scale)));
+        s.spawn(|| t45 = Some(experiments::table4_and_5(scale)));
+        s.spawn(|| t67 = Some(experiments::table6_and_7(scale)));
+        s.spawn(|| table8 = Some(experiments::table8(scale)));
+        s.spawn(|| fig2 = Some(experiments::smp_figure(WorkloadKind::DebitCredit, scale)));
+        s.spawn(|| fig3 = Some(experiments::smp_figure(WorkloadKind::OrderEntry, scale)));
+    });
+    let (fig1, table1, table2, instr) = (
+        fig1.unwrap(),
+        table1.unwrap(),
+        table2.unwrap(),
+        instr.unwrap(),
+    );
+    let (table3, t45, t67, table8) = (table3.unwrap(), t45.unwrap(), t67.unwrap(), table8.unwrap());
+    let figures = [fig2.unwrap(), fig3.unwrap()];
+
     // ---- Figure 1 ----
     let mut t = Comparison::new(
         "Figure 1: effective bandwidth by packet size (MB/s)",
         &["packet size", "paper", "measured"],
     );
-    let fig1 = experiments::figure1();
     for (point, (size, paper_bw)) in fig1.iter().zip(paper::FIGURE1) {
         assert_eq!(point.packet_bytes, size);
         t.row(&format!("{size} bytes"), paper_bw, point.mib_per_sec);
@@ -32,7 +64,6 @@ fn main() {
     t.print();
 
     // ---- Table 1 ----
-    let table1 = experiments::table1(scale);
     let mut t = Comparison::new(
         "Table 1: straightforward implementation (TPS)",
         &["configuration", "paper", "measured"],
@@ -53,7 +84,6 @@ fn main() {
     t.print();
 
     // ---- Table 2 ----
-    let table2 = experiments::table2(scale);
     let mut t = Comparison::new(
         "Table 2: data communicated by the straightforward implementation (MB)",
         &["category", "paper", "measured"],
@@ -76,12 +106,7 @@ fn main() {
     println!("### Instrumentation: standalone cache behaviour (Debit-Credit)\n");
     println!("| version | TPS | cache hit rate | misses/txn |");
     println!("|---------|-----|----------------|------------|");
-    for version in dsnrep_core::VersionTag::ALL {
-        let (tps, stats) = experiments::standalone_tps_and_stats(
-            WorkloadKind::DebitCredit,
-            version,
-            scale.debit_credit,
-        );
+    for (version, tps, stats) in &instr {
         println!(
             "| {version} | {tps:.0} | {:.1}% | {:.1} |",
             stats.hit_rate() * 100.0,
@@ -95,7 +120,6 @@ fn main() {
     );
 
     // ---- Table 3 ----
-    let table3 = experiments::table3(scale);
     let mut t = Comparison::new(
         "Table 3: standalone throughput of the re-structured versions (TPS)",
         &["configuration", "paper", "measured"],
@@ -113,7 +137,6 @@ fn main() {
     t.print();
 
     // ---- Tables 4 and 5 ----
-    let t45 = experiments::table4_and_5(scale);
     let mut t = Comparison::new(
         "Table 4: passive primary-backup throughput (TPS)",
         &["configuration", "paper", "measured"],
@@ -163,7 +186,6 @@ fn main() {
     t.print();
 
     // ---- Tables 6 and 7 ----
-    let t67 = experiments::table6_and_7(scale);
     let mut t = Comparison::new(
         "Table 6: passive vs active throughput (TPS)",
         &["configuration", "paper", "measured"],
@@ -213,7 +235,6 @@ fn main() {
     t.print();
 
     // ---- Table 8 ----
-    let table8 = experiments::table8(scale);
     let mut t = Comparison::new(
         "Table 8: active-backup throughput by database size (TPS)",
         &["configuration", "paper", "measured"],
@@ -232,11 +253,10 @@ fn main() {
     t.print();
 
     // ---- Figures 2 and 3 ----
-    for (kind, paper_fig, name) in [
+    for (measured, (kind, paper_fig, name)) in figures.iter().zip([
         (WorkloadKind::DebitCredit, &paper::FIGURE2, "Figure 2"),
         (WorkloadKind::OrderEntry, &paper::FIGURE3, "Figure 3"),
-    ] {
-        let measured = experiments::smp_figure(kind, scale);
+    ]) {
         let mut t = Comparison::new(
             &format!("{name}: SMP primary aggregate throughput, {kind} (TPS; paper values read from the plot)"),
             &["configuration", "paper~", "measured"],

@@ -1,0 +1,105 @@
+//! Wall-clock self-benchmark of the simulator (real time, not virtual
+//! time): how many simulated transactions per second of host CPU the
+//! pipeline sustains. Emits one JSON object on stdout so CI can archive the
+//! numbers and regressions show up as a trend break.
+//!
+//! ```text
+//! cargo run --release -p dsnrep-bench --bin simperf
+//! DSNREP_SIMPERF_TXNS=200000 cargo run --release -p dsnrep-bench --bin simperf
+//! ```
+//!
+//! The scenario mix covers the pipeline's distinct hot paths (see
+//! PERFORMANCE.md): a standalone engine (cache + arena only), a passive
+//! primary-backup pair (write doubling, merge-friendly), mirror-by-copy
+//! propagation (the unmerged word-at-a-time path), and the active redo
+//! ring. `sim_txns_per_wallclock_sec` is the headline aggregate: total
+//! simulated transactions across all scenarios over total wall time.
+
+use std::time::Instant;
+
+use dsnrep_core::{build_engine, EngineConfig, Machine, VersionTag};
+use dsnrep_repl::{ActiveCluster, PassiveCluster};
+use dsnrep_simcore::{CostModel, MIB};
+use dsnrep_workloads::{run_standalone, WorkloadKind};
+
+const DB: u64 = 50 * MIB;
+const SEED: u64 = 42;
+
+fn txns_per_scenario() -> u64 {
+    std::env::var("DSNREP_SIMPERF_TXNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50_000)
+}
+
+fn standalone_txns_per_sec(version: VersionTag, txns: u64) -> f64 {
+    let config = EngineConfig::for_db(DB);
+    let arena = dsnrep_core::shared_arena(dsnrep_core::arena_len(version, &config));
+    let mut m = Machine::standalone(CostModel::alpha_21164a(), arena);
+    let mut engine = build_engine(version, &mut m, &config);
+    let mut workload = WorkloadKind::DebitCredit.build(engine.db_region(), SEED);
+    let t0 = Instant::now();
+    run_standalone(workload.as_mut(), &mut m, engine.as_mut(), txns);
+    txns as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn passive_txns_per_sec(version: VersionTag, txns: u64) -> f64 {
+    let config = EngineConfig::for_db(DB);
+    let mut cluster = PassiveCluster::new(CostModel::alpha_21164a(), version, &config);
+    let mut workload = WorkloadKind::DebitCredit.build(cluster.engine().db_region(), SEED);
+    let t0 = Instant::now();
+    cluster.run(workload.as_mut(), txns);
+    txns as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn active_txns_per_sec(txns: u64) -> f64 {
+    let config = EngineConfig::for_db(DB);
+    let mut cluster = ActiveCluster::new(CostModel::alpha_21164a(), &config);
+    let mut workload = WorkloadKind::DebitCredit.build(cluster.db_region(), SEED);
+    let t0 = Instant::now();
+    cluster.run(workload.as_mut(), txns);
+    txns as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let txns = txns_per_scenario();
+    let wall = Instant::now();
+
+    let scenarios = [
+        (
+            "standalone_improved_log",
+            standalone_txns_per_sec(VersionTag::ImprovedLog, txns),
+        ),
+        (
+            "passive_vista",
+            passive_txns_per_sec(VersionTag::Vista, txns),
+        ),
+        (
+            "passive_mirror_copy",
+            passive_txns_per_sec(VersionTag::MirrorCopy, txns),
+        ),
+        (
+            "passive_improved_log",
+            passive_txns_per_sec(VersionTag::ImprovedLog, txns),
+        ),
+        ("active_redo_ring", active_txns_per_sec(txns)),
+    ];
+
+    let total_txns = txns * scenarios.len() as u64;
+    let total_secs = wall.elapsed().as_secs_f64();
+
+    println!("{{");
+    println!("  \"txns_per_scenario\": {txns},");
+    println!(
+        "  \"sim_txns_per_wallclock_sec\": {:.0},",
+        total_txns as f64 / total_secs
+    );
+    println!("  \"wallclock_secs\": {total_secs:.3},");
+    println!("  \"scenarios\": {{");
+    for (i, (name, rate)) in scenarios.iter().enumerate() {
+        let comma = if i + 1 < scenarios.len() { "," } else { "" };
+        println!("    \"{name}\": {rate:.0}{comma}");
+    }
+    println!("  }}");
+    println!("}}");
+}

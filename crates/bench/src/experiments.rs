@@ -71,6 +71,87 @@ fn costs() -> CostModel {
     CostModel::alpha_21164a()
 }
 
+/// Process-wide throttle for experiment cells: at most
+/// `available_parallelism()` cells simulate at once, no matter how many
+/// `par_cells` calls are in flight (the `reproduce` binary runs every
+/// report section concurrently). Without the throttle, tens of cells — each
+/// with a database-sized working set — would time-share each core and
+/// thrash its cache; with it, a core always runs one cell to completion's
+/// worth of locality. Waiting threads hold no simulation state, so peak
+/// memory also stays at one live cell per core.
+mod permits {
+    use std::sync::{Condvar, Mutex, OnceLock};
+
+    struct Sem {
+        free: Mutex<usize>,
+        cv: Condvar,
+    }
+
+    static SEM: OnceLock<Sem> = OnceLock::new();
+
+    fn sem() -> &'static Sem {
+        SEM.get_or_init(|| Sem {
+            free: Mutex::new(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            ),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// An execution slot; released on drop.
+    pub struct Permit(());
+
+    /// Blocks until an execution slot is free.
+    pub fn acquire() -> Permit {
+        let s = sem();
+        let mut free = s.free.lock().expect("permit lock poisoned");
+        while *free == 0 {
+            free = s.cv.wait(free).expect("permit lock poisoned");
+        }
+        *free -= 1;
+        Permit(())
+    }
+
+    impl Drop for Permit {
+        fn drop(&mut self) {
+            let s = sem();
+            *s.free.lock().expect("permit lock poisoned") += 1;
+            s.cv.notify_one();
+        }
+    }
+}
+
+/// Runs `f(0..count)` with one scoped thread per cell — gated by
+/// [`permits`] to one running cell per core — and returns the results in
+/// input order.
+///
+/// Every experiment cell builds its own single-threaded simulation (the
+/// simulators are `Rc`/`RefCell`-based and never shared across cells), so
+/// cells are independent and the OS schedule cannot affect any simulated
+/// result: parallel and sequential runs produce bit-identical reports.
+pub fn par_cells<T, F>(count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out: Vec<Option<T>> = Vec::with_capacity(count);
+    out.resize_with(count, || None);
+    std::thread::scope(|scope| {
+        for (i, slot) in out.iter_mut().enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                let _slot = permits::acquire();
+                *slot = Some(f(i));
+            });
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("cell thread completed"))
+        .collect()
+}
+
 /// Scales a traffic volume measured over `ran` transactions to the paper's
 /// run length for `kind`.
 pub fn scale_to_paper_run(kind: WorkloadKind, ran: u64, mib: f64) -> f64 {
@@ -167,58 +248,93 @@ pub fn figure1() -> Vec<BandwidthPoint> {
 
 /// Table 1 result: `[workload][single, primary_backup]` TPS.
 pub fn table1(scale: RunScale) -> [[f64; 2]; 2] {
-    let mut out = [[0.0; 2]; 2];
-    for kind in WorkloadKind::ALL {
+    let res = par_cells(4, |i| {
+        let kind = WorkloadKind::ALL[i / 2];
         let txns = scale.txns(kind);
-        let single = standalone_tps(kind, VersionTag::Vista, txns);
-        let (pb, _) = passive_tps_and_traffic(kind, VersionTag::Vista, txns, PAPER_DB);
-        out[kind_index(kind)] = [single, pb];
+        if i % 2 == 0 {
+            standalone_tps(kind, VersionTag::Vista, txns)
+        } else {
+            passive_tps_and_traffic(kind, VersionTag::Vista, txns, PAPER_DB).0
+        }
+    });
+    let mut out = [[0.0; 2]; 2];
+    for (i, &tps) in res.iter().enumerate() {
+        out[kind_index(WorkloadKind::ALL[i / 2])][i % 2] = tps;
     }
     out
 }
 
 /// Table 2 result: straightforward-implementation traffic.
 pub fn table2(scale: RunScale) -> [TrafficMib; 2] {
+    let res = par_cells(WorkloadKind::ALL.len(), |i| {
+        let kind = WorkloadKind::ALL[i];
+        passive_tps_and_traffic(kind, VersionTag::Vista, scale.txns(kind), PAPER_DB).1
+    });
     let mut out = [TrafficMib::default(); 2];
-    for kind in WorkloadKind::ALL {
-        let (_, traffic) =
-            passive_tps_and_traffic(kind, VersionTag::Vista, scale.txns(kind), PAPER_DB);
-        out[kind_index(kind)] = traffic;
+    for (i, &traffic) in res.iter().enumerate() {
+        out[kind_index(WorkloadKind::ALL[i])] = traffic;
     }
     out
 }
 
 /// Table 3 result: standalone TPS. `[workload][version]`.
 pub fn table3(scale: RunScale) -> [[f64; 4]; 2] {
+    let nv = VersionTag::ALL.len();
+    let res = par_cells(2 * nv, |i| {
+        let kind = WorkloadKind::ALL[i / nv];
+        standalone_tps(kind, VersionTag::ALL[i % nv], scale.txns(kind))
+    });
     let mut out = [[0.0; 4]; 2];
-    for kind in WorkloadKind::ALL {
-        for (v, version) in VersionTag::ALL.iter().enumerate() {
-            out[kind_index(kind)][v] = standalone_tps(kind, *version, scale.txns(kind));
-        }
+    for (i, &tps) in res.iter().enumerate() {
+        out[kind_index(WorkloadKind::ALL[i / nv])][i % nv] = tps;
     }
     out
 }
 
+/// Standalone TPS plus machine counters for every version of `kind` — the
+/// instrumentation block of the report. One cell per version.
+pub fn standalone_instrumentation(
+    kind: WorkloadKind,
+    txns: u64,
+) -> Vec<(VersionTag, f64, dsnrep_core::MachineStats)> {
+    let res = par_cells(VersionTag::ALL.len(), |i| {
+        standalone_tps_and_stats(kind, VersionTag::ALL[i], txns)
+    });
+    VersionTag::ALL
+        .iter()
+        .zip(res)
+        .map(|(&v, (tps, stats))| (v, tps, stats))
+        .collect()
+}
+
 /// Tables 4 and 5 result: passive TPS and traffic per version.
 pub fn table4_and_5(scale: RunScale) -> [[(f64, TrafficMib); 4]; 2] {
+    let nv = VersionTag::ALL.len();
+    let res = par_cells(2 * nv, |i| {
+        let kind = WorkloadKind::ALL[i / nv];
+        passive_tps_and_traffic(kind, VersionTag::ALL[i % nv], scale.txns(kind), PAPER_DB)
+    });
     let mut out = [[(0.0, TrafficMib::default()); 4]; 2];
-    for kind in WorkloadKind::ALL {
-        for (v, version) in VersionTag::ALL.iter().enumerate() {
-            out[kind_index(kind)][v] =
-                passive_tps_and_traffic(kind, *version, scale.txns(kind), PAPER_DB);
-        }
+    for (i, &cell) in res.iter().enumerate() {
+        out[kind_index(WorkloadKind::ALL[i / nv])][i % nv] = cell;
     }
     out
 }
 
 /// Tables 6 and 7 result: `[workload][passive_v3, active]` TPS + traffic.
 pub fn table6_and_7(scale: RunScale) -> [[(f64, TrafficMib); 2]; 2] {
-    let mut out = [[(0.0, TrafficMib::default()); 2]; 2];
-    for kind in WorkloadKind::ALL {
+    let res = par_cells(4, |i| {
+        let kind = WorkloadKind::ALL[i / 2];
         let txns = scale.txns(kind);
-        out[kind_index(kind)][0] =
-            passive_tps_and_traffic(kind, VersionTag::ImprovedLog, txns, PAPER_DB);
-        out[kind_index(kind)][1] = active_tps_and_traffic(kind, txns, PAPER_DB);
+        if i % 2 == 0 {
+            passive_tps_and_traffic(kind, VersionTag::ImprovedLog, txns, PAPER_DB)
+        } else {
+            active_tps_and_traffic(kind, txns, PAPER_DB)
+        }
+    });
+    let mut out = [[(0.0, TrafficMib::default()); 2]; 2];
+    for (i, &cell) in res.iter().enumerate() {
+        out[kind_index(WorkloadKind::ALL[i / 2])][i % 2] = cell;
     }
     out
 }
@@ -226,12 +342,13 @@ pub fn table6_and_7(scale: RunScale) -> [[(f64, TrafficMib); 2]; 2] {
 /// Table 8 result: active TPS at 10 MB / 100 MB / 1 GB databases.
 pub fn table8(scale: RunScale) -> [[f64; 3]; 2] {
     let sizes = [10 * MIB, 100 * MIB, 1024 * MIB];
+    let res = par_cells(2 * sizes.len(), |i| {
+        let kind = WorkloadKind::ALL[i / sizes.len()];
+        active_tps_and_traffic(kind, scale.txns(kind), sizes[i % sizes.len()]).0
+    });
     let mut out = [[0.0; 3]; 2];
-    for kind in WorkloadKind::ALL {
-        for (i, &db) in sizes.iter().enumerate() {
-            let (tps, _) = active_tps_and_traffic(kind, scale.txns(kind), db);
-            out[kind_index(kind)][i] = tps;
-        }
+    for (i, &tps) in res.iter().enumerate() {
+        out[kind_index(WorkloadKind::ALL[i / sizes.len()])][i % sizes.len()] = tps;
     }
     out
 }
@@ -246,14 +363,16 @@ pub const FIGURE_SCHEMES: [Scheme; 4] = [
 
 /// Figures 2 and 3 result: aggregate TPS, `[scheme][processors-1]`.
 pub fn smp_figure(kind: WorkloadKind, scale: RunScale) -> [[f64; 4]; 4] {
+    let res = par_cells(FIGURE_SCHEMES.len() * 4, |i| {
+        let scheme = FIGURE_SCHEMES[i / 4];
+        let procs = i % 4 + 1;
+        let config = EngineConfig::for_db(SMP_DB);
+        let mut exp = SmpExperiment::new(costs(), scheme, kind, &config, procs);
+        exp.run(scale.smp_per_stream).aggregate_tps()
+    });
     let mut out = [[0.0; 4]; 4];
-    for (s, &scheme) in FIGURE_SCHEMES.iter().enumerate() {
-        for procs in 1..=4usize {
-            let config = EngineConfig::for_db(SMP_DB);
-            let mut exp = SmpExperiment::new(costs(), scheme, kind, &config, procs);
-            let report = exp.run(scale.smp_per_stream);
-            out[s][procs - 1] = report.aggregate_tps();
-        }
+    for (i, &tps) in res.iter().enumerate() {
+        out[i / 4][i % 4] = tps;
     }
     out
 }

@@ -224,6 +224,9 @@ pub struct RedoReader {
     cap: u64,
     cons: u64,
     seq: u64,
+    /// Reused record buffer: `poll` applies one record per iteration and
+    /// must not allocate per record.
+    scratch: Vec<u8>,
 }
 
 impl RedoReader {
@@ -243,6 +246,7 @@ impl RedoReader {
             cap: ring.len(),
             cons: 0,
             seq: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -280,13 +284,14 @@ impl RedoReader {
                 m.barrier();
                 continue;
             }
-            let data = m.read_vec(at + HDR, len as usize);
+            self.scratch.resize(len as usize, 0);
+            m.read(at + HDR, &mut self.scratch[..]);
             m.charge(dsnrep_simcore::VirtualDuration::from_picos(
                 m.costs().copy_per_byte.as_picos() * u64::from(len),
             ));
             m.write(
                 self.db.start() + u64::from(base_off),
-                &data,
+                &self.scratch,
                 TrafficClass::Modified,
             );
             applied.bytes += u64::from(len);

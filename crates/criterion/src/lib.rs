@@ -1,0 +1,181 @@
+//! An offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no network access, so this in-tree shim
+//! provides the surface the workspace's benches use: [`Criterion`],
+//! `bench_function`, `benchmark_group` / `finish`, [`Bencher::iter`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros. It runs
+//! a fixed-budget timing loop and prints a mean ns/iter line per
+//! benchmark — no statistics, plots, or baselines.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Drives one benchmark's timing loop.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    mean_ns: f64,
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly and records the mean cost per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and discover a batch size that keeps clock reads
+        // off the hot path.
+        let warm_start = Instant::now();
+        let mut batch = 1u64;
+        while warm_start.elapsed() < self.warm_up {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+
+        let mut iters = 0u64;
+        let mut spent = Duration::ZERO;
+        while spent < self.measure {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            spent += t.elapsed();
+            iters += batch;
+        }
+        self.mean_ns = spent.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// The benchmark manager handed to `criterion_group!` targets.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(60),
+            measure: Duration::from_millis(240),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            mean_ns: f64::NAN,
+            warm_up: self.warm_up,
+            measure: self.measure,
+        };
+        f(&mut b);
+        println!("{:<40} {:>12.1} ns/iter", id.into(), b.mean_ns);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Criterion {
+        Criterion {
+            warm_up: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = tiny();
+        let mut count = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_runs_and_finishes() {
+        let mut c = tiny();
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_function(format!("{}", 1), |b| {
+            b.iter(|| {
+                ran = true;
+            })
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    criterion_group!(sample_group, sample_target);
+
+    fn sample_target(c: &mut Criterion) {
+        c.bench_function("macro_target", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn macros_compose() {
+        sample_group();
+    }
+}

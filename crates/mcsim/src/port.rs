@@ -22,7 +22,7 @@ use dsnrep_simcore::{
 };
 
 use crate::link::Link;
-use crate::wbuf::{FlushedBuffer, WriteBufferSet, BLOCK};
+use crate::wbuf::{span_mask, FlushedBuffer, WriteBufferSet, BLOCK};
 
 #[derive(Clone, Copy, Debug)]
 struct Delivery {
@@ -30,6 +30,63 @@ struct Delivery {
     base: Addr,
     mask: u32,
     data: [u8; BLOCK as usize],
+}
+
+/// The packet-emission half of a [`TxPort`]: link access, posted-write
+/// flow control, and the in-flight delivery queue. Split from the write
+/// buffers so flush callbacks can borrow it as one unit while
+/// [`WriteBufferSet`] is borrowed alongside.
+struct Emitter {
+    link: Rc<RefCell<Link>>,
+    window_cap: u64,
+    window_packets: usize,
+    outstanding: VecDeque<(VirtualInstant, u64)>,
+    outstanding_bytes: u64,
+    inflight: VecDeque<Delivery>,
+    last_delivered: VirtualInstant,
+}
+
+impl Emitter {
+    fn emit(&mut self, clock: &mut Clock, flushed: FlushedBuffer) {
+        let payload = flushed.payload();
+        if payload == 0 {
+            return;
+        }
+        // Release completed packets.
+        while let Some(&(done, bytes)) = self.outstanding.front() {
+            if done <= clock.now() {
+                self.outstanding.pop_front();
+                self.outstanding_bytes -= bytes;
+            } else {
+                break;
+            }
+        }
+        // Posted-write flow control: stall until the window has room
+        // (bounded both in bytes and in queue entries).
+        while self.outstanding_bytes + payload > self.window_cap
+            || self.outstanding.len() >= self.window_packets
+        {
+            let (done, bytes) = self
+                .outstanding
+                .pop_front()
+                .expect("window exceeded with no outstanding packets");
+            clock.advance_to(done);
+            self.outstanding_bytes -= bytes;
+        }
+        let timing = self
+            .link
+            .borrow_mut()
+            .send_mixed(clock.now(), flushed.class_bytes);
+        self.outstanding.push_back((timing.done, payload));
+        self.outstanding_bytes += payload;
+        self.inflight.push_back(Delivery {
+            at: timing.delivered,
+            base: flushed.base,
+            mask: flushed.mask,
+            data: flushed.data,
+        });
+        self.last_delivered = timing.delivered;
+    }
 }
 
 /// One node's transmitting half of a write-through mapping.
@@ -54,16 +111,10 @@ struct Delivery {
 /// assert_eq!(backup.borrow().read_vec(Addr::new(64), 9), b"replicate");
 /// ```
 pub struct TxPort {
-    link: Rc<RefCell<Link>>,
     peers: Vec<Rc<RefCell<Arena>>>,
     bufs: WriteBufferSet,
-    window_cap: u64,
-    window_packets: usize,
-    outstanding: VecDeque<(VirtualInstant, u64)>,
-    outstanding_bytes: u64,
-    inflight: VecDeque<Delivery>,
     io_store_issue: VirtualDuration,
-    last_delivered: VirtualInstant,
+    tx: Emitter,
 }
 
 impl fmt::Debug for TxPort {
@@ -71,9 +122,9 @@ impl fmt::Debug for TxPort {
         f.debug_struct("TxPort")
             .field("peers", &self.peers.len())
             .field("dirty_buffers", &self.bufs.dirty_buffers())
-            .field("outstanding_bytes", &self.outstanding_bytes)
-            .field("inflight_packets", &self.inflight.len())
-            .field("last_delivered", &self.last_delivered)
+            .field("outstanding_bytes", &self.tx.outstanding_bytes)
+            .field("inflight_packets", &self.tx.inflight.len())
+            .field("last_delivered", &self.tx.last_delivered)
             .finish()
     }
 }
@@ -107,65 +158,19 @@ impl TxPort {
             "the write-buffer model is fixed at {BLOCK}-byte blocks"
         );
         TxPort {
-            link,
             peers,
             bufs: WriteBufferSet::new(costs.write_buffers),
-            window_cap: costs.posted_window,
-            window_packets: costs.posted_window_packets.max(1),
-            outstanding: VecDeque::new(),
-            outstanding_bytes: 0,
-            inflight: VecDeque::new(),
             io_store_issue: costs.io_store_issue,
-            last_delivered: VirtualInstant::EPOCH,
+            tx: Emitter {
+                link,
+                window_cap: costs.posted_window,
+                window_packets: costs.posted_window_packets.max(1),
+                outstanding: VecDeque::new(),
+                outstanding_bytes: 0,
+                inflight: VecDeque::new(),
+                last_delivered: VirtualInstant::EPOCH,
+            },
         }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn emit(
-        clock: &mut Clock,
-        link: &Rc<RefCell<Link>>,
-        window_cap: u64,
-        window_packets: usize,
-        outstanding: &mut VecDeque<(VirtualInstant, u64)>,
-        outstanding_bytes: &mut u64,
-        inflight: &mut VecDeque<Delivery>,
-        last_delivered: &mut VirtualInstant,
-        flushed: FlushedBuffer,
-    ) {
-        let payload = flushed.payload();
-        if payload == 0 {
-            return;
-        }
-        // Release completed packets.
-        while let Some(&(done, bytes)) = outstanding.front() {
-            if done <= clock.now() {
-                outstanding.pop_front();
-                *outstanding_bytes -= bytes;
-            } else {
-                break;
-            }
-        }
-        // Posted-write flow control: stall until the window has room
-        // (bounded both in bytes and in queue entries).
-        while *outstanding_bytes + payload > window_cap || outstanding.len() >= window_packets {
-            let (done, bytes) = outstanding
-                .pop_front()
-                .expect("window exceeded with no outstanding packets");
-            clock.advance_to(done);
-            *outstanding_bytes -= bytes;
-        }
-        let timing = link
-            .borrow_mut()
-            .send_mixed(clock.now(), flushed.class_bytes);
-        outstanding.push_back((timing.done, payload));
-        *outstanding_bytes += payload;
-        inflight.push_back(Delivery {
-            at: timing.delivered,
-            base: flushed.base,
-            mask: flushed.mask,
-            data: flushed.data,
-        });
-        *last_delivered = timing.delivered;
     }
 
     fn apply(peers: &[Rc<RefCell<Arena>>], d: &Delivery) {
@@ -206,75 +211,39 @@ impl TxPort {
         // Emit one packet per 8-byte-aligned word run, bypassing the
         // write buffers — but first flush any buffer holding the same
         // block, so same-address stores stay ordered on the wire.
+        //
+        // Words advance monotonically through the range, so each block is
+        // entered exactly once; flushing on block entry is equivalent to
+        // the word-at-a-time flush (this path never refills the buffers).
+        let TxPort { bufs, tx, .. } = self;
         let mut off = 0usize;
+        let mut entered_block = u64::MAX;
         while off < bytes.len() {
             let a = addr + off as u64;
             let word_end = ((a.as_u64() | 7) + 1).min(addr.as_u64() + bytes.len() as u64);
             let n = (word_end - a.as_u64()) as usize;
             let block_base = a.align_down(BLOCK);
             let in_block = a.offset_in(BLOCK) as usize;
-            {
-                let TxPort {
-                    link,
-                    bufs,
-                    window_cap,
-                    window_packets,
-                    outstanding,
-                    outstanding_bytes,
-                    inflight,
-                    last_delivered,
-                    ..
-                } = self;
-                bufs.flush_block(block_base.as_u64() / BLOCK, &mut |flushed| {
-                    Self::emit(
-                        clock,
-                        link,
-                        *window_cap,
-                        *window_packets,
-                        outstanding,
-                        outstanding_bytes,
-                        inflight,
-                        last_delivered,
-                        flushed,
-                    );
-                });
+            let block = block_base.as_u64() / BLOCK;
+            if block != entered_block {
+                bufs.flush_block(block, &mut |flushed| tx.emit(clock, flushed));
+                entered_block = block;
             }
             // A word never spans a 32-byte block (8-byte words, 32-byte
             // blocks), so this fits.
             let mut data = [0u8; BLOCK as usize];
-            let mut mask = 0u32;
-            for (i, &b) in bytes[off..off + n].iter().enumerate() {
-                data[in_block + i] = b;
-                mask |= 1 << (in_block + i);
-            }
+            data[in_block..in_block + n].copy_from_slice(&bytes[off..off + n]);
+            let mask = span_mask(in_block, n);
             let mut class_bytes = [0u64; 3];
-            class_bytes[class.index()] = u64::from(mask.count_ones());
-            let flushed = FlushedBuffer {
-                base: block_base,
-                mask,
-                data,
-                class_bytes,
-            };
-            let TxPort {
-                link,
-                window_cap,
-                window_packets,
-                outstanding,
-                outstanding_bytes,
-                inflight,
-                last_delivered,
-                ..
-            } = self;
-            Self::emit(
+            class_bytes[class.index()] = n as u64;
+            tx.emit(
                 clock,
-                link,
-                *window_cap,
-                *window_packets,
-                outstanding,
-                outstanding_bytes,
-                inflight,
-                last_delivered,
-                flushed,
+                FlushedBuffer {
+                    base: block_base,
+                    mask,
+                    data,
+                    class_bytes,
+                },
             );
             off += n;
         }
@@ -283,9 +252,9 @@ impl TxPort {
 
     /// Applies every packet whose delivery instant is at or before `t`.
     pub fn deliver_up_to(&mut self, t: VirtualInstant) {
-        while let Some(front) = self.inflight.front() {
+        while let Some(front) = self.tx.inflight.front() {
             if front.at <= t {
-                let d = self.inflight.pop_front().expect("front() checked");
+                let d = self.tx.inflight.pop_front().expect("front() checked");
                 Self::apply(&self.peers, &d);
             } else {
                 break;
@@ -305,25 +274,25 @@ impl TxPort {
     /// write buffers that never reached the PCI bus — is lost.
     pub fn crash_cut(&mut self, at: VirtualInstant) {
         self.deliver_up_to(at);
-        self.inflight.clear();
+        self.tx.inflight.clear();
         self.bufs.discard_all();
-        self.outstanding.clear();
-        self.outstanding_bytes = 0;
+        self.tx.outstanding.clear();
+        self.tx.outstanding_bytes = 0;
     }
 
     /// Delivery instant of the most recently flushed packet.
     pub fn last_delivered(&self) -> VirtualInstant {
-        self.last_delivered
+        self.tx.last_delivered
     }
 
     /// Packets flushed to the link but not yet applied to the peer.
     pub fn inflight_packets(&self) -> usize {
-        self.inflight.len()
+        self.tx.inflight.len()
     }
 
     /// The shared link (for reading traffic statistics).
     pub fn link(&self) -> &Rc<RefCell<Link>> {
-        &self.link
+        &self.tx.link
     }
 }
 
@@ -336,58 +305,14 @@ impl StoreSink for TxPort {
             self.io_store_issue,
             bytes.len() as u64,
         ));
-        let TxPort {
-            link,
-            bufs,
-            window_cap,
-            window_packets,
-            outstanding,
-            outstanding_bytes,
-            inflight,
-            last_delivered,
-            ..
-        } = self;
-        bufs.store(addr, bytes, class, &mut |flushed| {
-            Self::emit(
-                clock,
-                link,
-                *window_cap,
-                *window_packets,
-                outstanding,
-                outstanding_bytes,
-                inflight,
-                last_delivered,
-                flushed,
-            );
-        });
+        let TxPort { bufs, tx, .. } = self;
+        bufs.store(addr, bytes, class, &mut |flushed| tx.emit(clock, flushed));
         self.deliver_up_to(clock.now());
     }
 
     fn barrier(&mut self, clock: &mut Clock) {
-        let TxPort {
-            link,
-            bufs,
-            window_cap,
-            window_packets,
-            outstanding,
-            outstanding_bytes,
-            inflight,
-            last_delivered,
-            ..
-        } = self;
-        bufs.flush_all(&mut |flushed| {
-            Self::emit(
-                clock,
-                link,
-                *window_cap,
-                *window_packets,
-                outstanding,
-                outstanding_bytes,
-                inflight,
-                last_delivered,
-                flushed,
-            );
-        });
+        let TxPort { bufs, tx, .. } = self;
+        bufs.flush_all(&mut |flushed| tx.emit(clock, flushed));
         self.deliver_up_to(clock.now());
     }
 }

@@ -87,6 +87,18 @@ struct Slot {
     stamp: u64,
 }
 
+/// The dirty-byte mask of an `n`-byte store at offset `in_block`
+/// (`n` ≤ 32, `in_block + n` ≤ 32).
+#[inline]
+pub(crate) fn span_mask(in_block: usize, n: usize) -> u32 {
+    debug_assert!(n >= 1 && in_block + n <= BLOCK as usize);
+    if n >= 32 {
+        u32::MAX
+    } else {
+        ((1u32 << n) - 1) << in_block
+    }
+}
+
 /// A set of N write buffers with merge-on-same-block and LRU eviction.
 ///
 /// # Examples
@@ -110,6 +122,11 @@ struct Slot {
 pub struct WriteBufferSet {
     slots: Vec<Option<Slot>>,
     next_stamp: u64,
+    /// Slot index of the most recent store. Only a hint: it may be stale
+    /// (slot since flushed or reused for another block), so users must
+    /// re-check the block tag. Because at most one slot ever holds a given
+    /// block, a verified hit is exactly what the linear scan would find.
+    mru: usize,
 }
 
 impl WriteBufferSet {
@@ -123,6 +140,7 @@ impl WriteBufferSet {
         WriteBufferSet {
             slots: vec![None; count],
             next_stamp: 0,
+            mru: 0,
         }
     }
 
@@ -164,25 +182,31 @@ impl WriteBufferSet {
         self.next_stamp += 1;
         let stamp = self.next_stamp;
 
-        // Find a matching buffer.
-        if let Some(idx) = self
-            .slots
-            .iter()
-            .position(|s| s.as_ref().is_some_and(|s| s.block == block))
+        // Find a matching buffer. MRU fast path first: sequential log
+        // appends hit the same block as the previous store, so most
+        // lookups resolve without scanning the slot array.
+        let matched = if self.slots[self.mru]
+            .as_ref()
+            .is_some_and(|s| s.block == block)
         {
-            let slot = self.slots[idx].as_mut().expect("position() found it");
+            Some(self.mru)
+        } else {
+            self.slots
+                .iter()
+                .position(|s| s.as_ref().is_some_and(|s| s.block == block))
+        };
+        if let Some(idx) = matched {
+            let slot = self.slots[idx].as_mut().expect("matched slot is dirty");
             slot.stamp = stamp;
-            for (i, &b) in bytes.iter().enumerate() {
-                slot.data[in_block + i] = b;
-                if slot.mask & (1 << (in_block + i)) == 0 {
-                    slot.class_bytes[class.index()] += 1;
-                }
-                slot.mask |= 1 << (in_block + i);
-            }
+            let add = span_mask(in_block, bytes.len());
+            slot.class_bytes[class.index()] += u64::from((add & !slot.mask).count_ones());
+            slot.mask |= add;
+            slot.data[in_block..in_block + bytes.len()].copy_from_slice(bytes);
             if slot.mask == u32::MAX {
                 let full = self.slots[idx].take().expect("just matched");
                 flush(Self::to_flushed(full));
             }
+            self.mru = idx;
             return;
         }
         self.place(block, in_block, bytes, class, stamp, flush);
@@ -212,22 +236,21 @@ impl WriteBufferSet {
                 i
             }
         };
+        let mask = span_mask(in_block, bytes.len());
         let mut slot = Slot {
             block,
-            mask: 0,
+            mask,
             data: [0; BLOCK as usize],
             class_bytes: [0; 3],
             stamp,
         };
-        for (i, &b) in bytes.iter().enumerate() {
-            slot.data[in_block + i] = b;
-            slot.mask |= 1 << (in_block + i);
-        }
-        slot.class_bytes[class.index()] = u64::from(slot.mask.count_ones());
+        slot.data[in_block..in_block + bytes.len()].copy_from_slice(bytes);
+        slot.class_bytes[class.index()] = u64::from(mask.count_ones());
         if slot.mask == u32::MAX {
             flush(Self::to_flushed(slot));
         } else {
             self.slots[idx] = Some(slot);
+            self.mru = idx;
         }
     }
 
@@ -246,10 +269,20 @@ impl WriteBufferSet {
     }
 
     /// Flushes every dirty buffer (a write memory barrier), oldest first.
+    ///
+    /// Allocation-free: repeatedly selects the minimum-stamp dirty slot.
+    /// Quadratic in the slot count, but the set holds at most a handful of
+    /// buffers (six on the Alpha 21164A) and barriers run on every commit.
     pub fn flush_all(&mut self, flush: &mut impl FnMut(FlushedBuffer)) {
-        let mut dirty: Vec<Slot> = self.slots.iter_mut().filter_map(Option::take).collect();
-        dirty.sort_by_key(|s| s.stamp);
-        for slot in dirty {
+        loop {
+            let oldest = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.as_ref().map(|s| (s.stamp, i)))
+                .min();
+            let Some((_, idx)) = oldest else { return };
+            let slot = self.slots[idx].take().expect("selected slot is dirty");
             flush(Self::to_flushed(slot));
         }
     }
@@ -446,6 +479,240 @@ mod tests {
         bufs.discard_all();
         bufs.flush_all(&mut collect(&mut out));
         assert!(out.is_empty());
+    }
+
+    /// The pre-optimization write-buffer model: per-byte mask/copy loops,
+    /// linear slot scans, and an allocating sort-based `flush_all`. Kept
+    /// verbatim as the oracle for the equivalence properties below — the
+    /// fast paths must produce byte-identical flush sequences.
+    mod reference {
+        use super::*;
+
+        #[derive(Clone, Copy, Debug)]
+        pub struct RefSlot {
+            pub block: u64,
+            pub mask: u32,
+            pub data: [u8; BLOCK as usize],
+            pub class_bytes: [u64; 3],
+            pub stamp: u64,
+        }
+
+        #[derive(Clone, Debug)]
+        pub struct RefWriteBufferSet {
+            slots: Vec<Option<RefSlot>>,
+            next_stamp: u64,
+        }
+
+        impl RefWriteBufferSet {
+            pub fn new(count: usize) -> Self {
+                RefWriteBufferSet {
+                    slots: vec![None; count],
+                    next_stamp: 0,
+                }
+            }
+
+            pub fn store(
+                &mut self,
+                addr: Addr,
+                bytes: &[u8],
+                class: TrafficClass,
+                flush: &mut impl FnMut(FlushedBuffer),
+            ) {
+                let mut off = 0usize;
+                while off < bytes.len() {
+                    let a = addr + off as u64;
+                    let block = a.as_u64() / BLOCK;
+                    let in_block = a.offset_in(BLOCK) as usize;
+                    let n = (BLOCK as usize - in_block).min(bytes.len() - off);
+                    self.store_in_block(block, in_block, &bytes[off..off + n], class, flush);
+                    off += n;
+                }
+            }
+
+            fn store_in_block(
+                &mut self,
+                block: u64,
+                in_block: usize,
+                bytes: &[u8],
+                class: TrafficClass,
+                flush: &mut impl FnMut(FlushedBuffer),
+            ) {
+                self.next_stamp += 1;
+                let stamp = self.next_stamp;
+                if let Some(idx) = self
+                    .slots
+                    .iter()
+                    .position(|s| s.as_ref().is_some_and(|s| s.block == block))
+                {
+                    let slot = self.slots[idx].as_mut().expect("position() found it");
+                    slot.stamp = stamp;
+                    for (i, &b) in bytes.iter().enumerate() {
+                        slot.data[in_block + i] = b;
+                        if slot.mask & (1 << (in_block + i)) == 0 {
+                            slot.class_bytes[class.index()] += 1;
+                        }
+                        slot.mask |= 1 << (in_block + i);
+                    }
+                    if slot.mask == u32::MAX {
+                        let full = self.slots[idx].take().expect("just matched");
+                        flush(Self::to_flushed(full));
+                    }
+                    return;
+                }
+                self.place(block, in_block, bytes, class, stamp, flush);
+            }
+
+            fn place(
+                &mut self,
+                block: u64,
+                in_block: usize,
+                bytes: &[u8],
+                class: TrafficClass,
+                stamp: u64,
+                flush: &mut impl FnMut(FlushedBuffer),
+            ) {
+                let idx = match self.slots.iter().position(Option::is_none) {
+                    Some(i) => i,
+                    None => {
+                        let (i, _) = self
+                            .slots
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, s)| s.as_ref().map_or(u64::MAX, |s| s.stamp))
+                            .expect("slots is non-empty");
+                        let victim = self.slots[i].take().expect("all slots were full");
+                        flush(Self::to_flushed(victim));
+                        i
+                    }
+                };
+                let mut slot = RefSlot {
+                    block,
+                    mask: 0,
+                    data: [0; BLOCK as usize],
+                    class_bytes: [0; 3],
+                    stamp,
+                };
+                for (i, &b) in bytes.iter().enumerate() {
+                    slot.data[in_block + i] = b;
+                    slot.mask |= 1 << (in_block + i);
+                }
+                slot.class_bytes[class.index()] = u64::from(slot.mask.count_ones());
+                if slot.mask == u32::MAX {
+                    flush(Self::to_flushed(slot));
+                } else {
+                    self.slots[idx] = Some(slot);
+                }
+            }
+
+            pub fn flush_block(&mut self, block: u64, flush: &mut impl FnMut(FlushedBuffer)) {
+                if let Some(idx) = self
+                    .slots
+                    .iter()
+                    .position(|s| s.as_ref().is_some_and(|s| s.block == block))
+                {
+                    let slot = self.slots[idx].take().expect("position() found it");
+                    flush(Self::to_flushed(slot));
+                }
+            }
+
+            pub fn flush_all(&mut self, flush: &mut impl FnMut(FlushedBuffer)) {
+                let mut dirty: Vec<RefSlot> =
+                    self.slots.iter_mut().filter_map(Option::take).collect();
+                dirty.sort_by_key(|s| s.stamp);
+                for slot in dirty {
+                    flush(Self::to_flushed(slot));
+                }
+            }
+
+            pub fn discard_all(&mut self) {
+                for s in &mut self.slots {
+                    *s = None;
+                }
+            }
+
+            fn to_flushed(slot: RefSlot) -> FlushedBuffer {
+                FlushedBuffer {
+                    base: Addr::new(slot.block * BLOCK),
+                    mask: slot.mask,
+                    data: slot.data,
+                    class_bytes: slot.class_bytes,
+                }
+            }
+        }
+    }
+
+    mod equivalence {
+        use super::reference::RefWriteBufferSet;
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Clone, Debug)]
+        enum Op {
+            Store { addr: u64, len: usize, class: u8 },
+            FlushBlock { block: u64 },
+            FlushAll,
+            DiscardAll,
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                12 => (0u64..512, 1usize..=40, 0u8..3)
+                    .prop_map(|(addr, len, class)| Op::Store { addr, len, class }),
+                2 => (0u64..16).prop_map(|block| Op::FlushBlock { block }),
+                1 => Just(Op::FlushAll),
+                1 => Just(Op::DiscardAll),
+            ]
+        }
+
+        fn class_of(tag: u8) -> TrafficClass {
+            match tag {
+                0 => TrafficClass::Modified,
+                1 => TrafficClass::Undo,
+                _ => TrafficClass::Meta,
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The mask/MRU fast paths and the allocation-free barrier
+            /// produce the exact flush sequence of the byte-loop model.
+            #[test]
+            fn fast_paths_match_reference(
+                slots in 1usize..7,
+                ops in prop::collection::vec(op_strategy(), 1..120),
+            ) {
+                let mut fast = WriteBufferSet::new(slots);
+                let mut oracle = RefWriteBufferSet::new(slots);
+                let (mut got, mut want) = (Vec::new(), Vec::new());
+                for op in &ops {
+                    match *op {
+                        Op::Store { addr, len, class } => {
+                            let data: Vec<u8> =
+                                (0..len).map(|i| (addr as u8).wrapping_add(i as u8)).collect();
+                            fast.store(Addr::new(addr), &data, class_of(class), &mut |f| got.push(f));
+                            oracle.store(Addr::new(addr), &data, class_of(class), &mut |f| want.push(f));
+                        }
+                        Op::FlushBlock { block } => {
+                            fast.flush_block(block, &mut |f| got.push(f));
+                            oracle.flush_block(block, &mut |f| want.push(f));
+                        }
+                        Op::FlushAll => {
+                            fast.flush_all(&mut |f| got.push(f));
+                            oracle.flush_all(&mut |f| want.push(f));
+                        }
+                        Op::DiscardAll => {
+                            fast.discard_all();
+                            oracle.discard_all();
+                        }
+                    }
+                    prop_assert_eq!(&got, &want, "divergence after {:?}", op);
+                }
+                fast.flush_all(&mut |f| got.push(f));
+                oracle.flush_all(&mut |f| want.push(f));
+                prop_assert_eq!(&got, &want, "final barrier state diverged");
+            }
+        }
     }
 
     #[test]

@@ -38,6 +38,10 @@ pub const PAGE_SIZE: usize = 64 * 1024;
 pub struct Arena {
     pages: Vec<Option<Box<[u8]>>>,
     len: u64,
+    /// Count of `Some` pages, so [`pages_touched`](Arena::pages_touched)
+    /// (called from `Debug` formatting inside hot loops when tracing) is
+    /// O(1) instead of a scan of the page vector.
+    touched: usize,
 }
 
 impl fmt::Debug for Arena {
@@ -61,6 +65,7 @@ impl Arena {
         Arena {
             pages: vec![None; usize::try_from(pages).expect("arena too large")],
             len,
+            touched: 0,
         }
     }
 
@@ -78,8 +83,9 @@ impl Arena {
     }
 
     /// Number of pages that have been materialized by writes.
+    #[inline]
     pub fn pages_touched(&self) -> usize {
-        self.pages.iter().filter(|p| p.is_some()).count()
+        self.touched
     }
 
     #[inline]
@@ -104,14 +110,39 @@ impl Arena {
     /// Panics if the range falls outside the arena.
     pub fn write(&mut self, addr: Addr, bytes: &[u8]) {
         self.check(addr, bytes.len());
-        let mut off = addr.as_usize();
+        let off = addr.as_usize();
+        let page_off = off % PAGE_SIZE;
+        // Fast path: the write stays inside one page (virtually all
+        // simulated stores are word-sized). The `8 => ` arm pins the copy
+        // length at compile time so an 8-byte store is a single move, not a
+        // memcpy call.
+        if bytes.len() <= PAGE_SIZE - page_off {
+            let slot = &mut self.pages[off / PAGE_SIZE];
+            let page = match slot {
+                Some(page) => page,
+                None => {
+                    self.touched += 1;
+                    slot.insert(vec![0u8; PAGE_SIZE].into_boxed_slice())
+                }
+            };
+            match bytes.len() {
+                8 => page[page_off..page_off + 8].copy_from_slice(&bytes[..8]),
+                n => page[page_off..page_off + n].copy_from_slice(bytes),
+            }
+            return;
+        }
+        let mut off = off;
         let mut src = bytes;
         while !src.is_empty() {
             let page_idx = off / PAGE_SIZE;
             let page_off = off % PAGE_SIZE;
             let n = (PAGE_SIZE - page_off).min(src.len());
-            let page =
-                self.pages[page_idx].get_or_insert_with(|| vec![0u8; PAGE_SIZE].into_boxed_slice());
+            let slot = &mut self.pages[page_idx];
+            if slot.is_none() {
+                *slot = Some(vec![0u8; PAGE_SIZE].into_boxed_slice());
+                self.touched += 1;
+            }
+            let page = slot.as_mut().expect("just materialized");
             page[page_off..page_off + n].copy_from_slice(&src[..n]);
             src = &src[n..];
             off += n;
@@ -125,7 +156,21 @@ impl Arena {
     /// Panics if the range falls outside the arena.
     pub fn read_into(&self, addr: Addr, buf: &mut [u8]) {
         self.check(addr, buf.len());
-        let mut off = addr.as_usize();
+        let off = addr.as_usize();
+        let page_off = off % PAGE_SIZE;
+        // Fast path mirroring `write`: single-page reads, with word-sized
+        // loads pinned to a compile-time length.
+        if buf.len() <= PAGE_SIZE - page_off {
+            match &self.pages[off / PAGE_SIZE] {
+                Some(page) => match buf.len() {
+                    8 => buf[..8].copy_from_slice(&page[page_off..page_off + 8]),
+                    n => buf.copy_from_slice(&page[page_off..page_off + n]),
+                },
+                None => buf.fill(0),
+            }
+            return;
+        }
+        let mut off = off;
         let mut dst: &mut [u8] = buf;
         while !dst.is_empty() {
             let page_idx = off / PAGE_SIZE;
@@ -281,6 +326,17 @@ mod tests {
         a.write(Addr::new(1 << 29), &[9]);
         assert_eq!(a.pages_touched(), 1);
         assert_eq!(a.read_vec(Addr::new(1 << 29), 1), vec![9]);
+    }
+
+    #[test]
+    fn pages_touched_counter_is_stable() {
+        let mut a = Arena::new(PAGE_SIZE as u64 * 4);
+        a.write(Addr::new(0), &[1]);
+        a.write(Addr::new(1), &[2]); // same page: not a new materialization
+        assert_eq!(a.pages_touched(), 1);
+        a.write(Addr::new(PAGE_SIZE as u64 * 3), &[3]);
+        assert_eq!(a.pages_touched(), 2);
+        assert_eq!(a.clone().pages_touched(), 2);
     }
 
     #[test]

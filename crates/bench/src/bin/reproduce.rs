@@ -7,7 +7,10 @@
 //! ```
 
 use dsnrep_bench::experiments::{self, RunScale, FIGURE_SCHEMES};
+use dsnrep_bench::trace::{traced_run, TracedScheme};
 use dsnrep_bench::{ascii_chart, paper, Comparison};
+use dsnrep_core::VersionTag;
+use dsnrep_simcore::MIB;
 use dsnrep_workloads::WorkloadKind;
 
 fn main() {
@@ -292,5 +295,25 @@ fn main() {
             "```
 "
         );
+    }
+
+    // ---- Flight-recorder summary (opt-in) ----
+    if std::env::var("DSNREP_TRACE").as_deref() == Ok("1") {
+        let txns = scale.debit_credit.min(2_000);
+        println!("## Trace summary (DSNREP_TRACE=1)\n");
+        println!(
+            "Commit-latency histogram (virtual time), stall attribution and\n\
+             traffic-class matrix from a {txns}-transaction Debit-Credit run\n\
+             per scheme. Use the `simtrace` binary for the full Perfetto\n\
+             trace (see OBSERVABILITY.md).\n"
+        );
+        for (label, scheme) in [
+            ("passive-v3", TracedScheme::Passive(VersionTag::ImprovedLog)),
+            ("active", TracedScheme::Active),
+        ] {
+            let run = traced_run(scheme, WorkloadKind::DebitCredit, txns, 10 * MIB, false);
+            assert!(run.passed(), "trace run failed its audit");
+            println!("### {label}\n\n```json\n{}\n```\n", run.summary.to_json());
+        }
     }
 }

@@ -25,6 +25,20 @@ use dsnrep_workloads::{run_standalone, WorkloadKind};
 const DB: u64 = 50 * MIB;
 const SEED: u64 = 42;
 
+/// Bumped whenever the shape of the emitted JSON changes, so scripts that
+/// trend the numbers across CI runs can detect a format break instead of
+/// silently misparsing.
+const SCHEMA_VERSION: u32 = 2;
+
+/// One scenario's result: simulated transactions per wall-clock second,
+/// plus the wall time the scenario itself consumed (the per-scenario
+/// breakdown lets a regression be pinned to a hot path without rerunning).
+struct Scenario {
+    name: &'static str,
+    txns_per_sec: f64,
+    wall_secs: f64,
+}
+
 fn txns_per_scenario() -> u64 {
     std::env::var("DSNREP_SIMPERF_TXNS")
         .ok()
@@ -32,33 +46,44 @@ fn txns_per_scenario() -> u64 {
         .unwrap_or(50_000)
 }
 
-fn standalone_txns_per_sec(version: VersionTag, txns: u64) -> f64 {
+fn timed(name: &'static str, txns: u64, body: impl FnOnce()) -> Scenario {
+    let t0 = Instant::now();
+    body();
+    let wall_secs = t0.elapsed().as_secs_f64();
+    Scenario {
+        name,
+        txns_per_sec: txns as f64 / wall_secs,
+        wall_secs,
+    }
+}
+
+fn standalone_scenario(name: &'static str, version: VersionTag, txns: u64) -> Scenario {
     let config = EngineConfig::for_db(DB);
     let arena = dsnrep_core::shared_arena(dsnrep_core::arena_len(version, &config));
     let mut m = Machine::standalone(CostModel::alpha_21164a(), arena);
     let mut engine = build_engine(version, &mut m, &config);
     let mut workload = WorkloadKind::DebitCredit.build(engine.db_region(), SEED);
-    let t0 = Instant::now();
-    run_standalone(workload.as_mut(), &mut m, engine.as_mut(), txns);
-    txns as f64 / t0.elapsed().as_secs_f64()
+    timed(name, txns, || {
+        run_standalone(workload.as_mut(), &mut m, engine.as_mut(), txns);
+    })
 }
 
-fn passive_txns_per_sec(version: VersionTag, txns: u64) -> f64 {
+fn passive_scenario(name: &'static str, version: VersionTag, txns: u64) -> Scenario {
     let config = EngineConfig::for_db(DB);
     let mut cluster = PassiveCluster::new(CostModel::alpha_21164a(), version, &config);
     let mut workload = WorkloadKind::DebitCredit.build(cluster.engine().db_region(), SEED);
-    let t0 = Instant::now();
-    cluster.run(workload.as_mut(), txns);
-    txns as f64 / t0.elapsed().as_secs_f64()
+    timed(name, txns, || {
+        cluster.run(workload.as_mut(), txns);
+    })
 }
 
-fn active_txns_per_sec(txns: u64) -> f64 {
+fn active_scenario(name: &'static str, txns: u64) -> Scenario {
     let config = EngineConfig::for_db(DB);
     let mut cluster = ActiveCluster::new(CostModel::alpha_21164a(), &config);
     let mut workload = WorkloadKind::DebitCredit.build(cluster.db_region(), SEED);
-    let t0 = Instant::now();
-    cluster.run(workload.as_mut(), txns);
-    txns as f64 / t0.elapsed().as_secs_f64()
+    timed(name, txns, || {
+        cluster.run(workload.as_mut(), txns);
+    })
 }
 
 fn main() {
@@ -66,29 +91,18 @@ fn main() {
     let wall = Instant::now();
 
     let scenarios = [
-        (
-            "standalone_improved_log",
-            standalone_txns_per_sec(VersionTag::ImprovedLog, txns),
-        ),
-        (
-            "passive_vista",
-            passive_txns_per_sec(VersionTag::Vista, txns),
-        ),
-        (
-            "passive_mirror_copy",
-            passive_txns_per_sec(VersionTag::MirrorCopy, txns),
-        ),
-        (
-            "passive_improved_log",
-            passive_txns_per_sec(VersionTag::ImprovedLog, txns),
-        ),
-        ("active_redo_ring", active_txns_per_sec(txns)),
+        standalone_scenario("standalone_improved_log", VersionTag::ImprovedLog, txns),
+        passive_scenario("passive_vista", VersionTag::Vista, txns),
+        passive_scenario("passive_mirror_copy", VersionTag::MirrorCopy, txns),
+        passive_scenario("passive_improved_log", VersionTag::ImprovedLog, txns),
+        active_scenario("active_redo_ring", txns),
     ];
 
     let total_txns = txns * scenarios.len() as u64;
     let total_secs = wall.elapsed().as_secs_f64();
 
     println!("{{");
+    println!("  \"schema_version\": {SCHEMA_VERSION},");
     println!("  \"txns_per_scenario\": {txns},");
     println!(
         "  \"sim_txns_per_wallclock_sec\": {:.0},",
@@ -96,9 +110,12 @@ fn main() {
     );
     println!("  \"wallclock_secs\": {total_secs:.3},");
     println!("  \"scenarios\": {{");
-    for (i, (name, rate)) in scenarios.iter().enumerate() {
+    for (i, s) in scenarios.iter().enumerate() {
         let comma = if i + 1 < scenarios.len() { "," } else { "" };
-        println!("    \"{name}\": {rate:.0}{comma}");
+        println!(
+            "    \"{}\": {{\"sim_txns_per_sec\": {:.0}, \"wall_secs\": {:.3}}}{comma}",
+            s.name, s.txns_per_sec, s.wall_secs
+        );
     }
     println!("  }}");
     println!("}}");

@@ -1,0 +1,136 @@
+//! The virtual-time flight recorder, exported.
+//!
+//! Runs one traced cluster scenario and writes three artifacts:
+//!
+//! * `trace.json` — Chrome `trace_event` JSON; open it in Perfetto
+//!   (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//! * `events.jsonl` — the same spans and point events, one JSON object per
+//!   line, for ad-hoc scripting.
+//! * `summary.json` — commit-latency histogram, stall attribution and the
+//!   per-track traffic-class matrix (also printed to stdout).
+//!
+//! If the post-run audit finds a violation (or takeover recovery fails),
+//! the flight-recorder ring is still dumped — that dump *is* the crash
+//! report — and the process exits non-zero.
+//!
+//! ```text
+//! cargo run --release -p dsnrep-bench --bin simtrace -- \
+//!     --scheme active --workload debit-credit --txns 2000 --crash --out target/trace
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dsnrep_bench::trace::{traced_run, TracedScheme};
+use dsnrep_core::VersionTag;
+use dsnrep_simcore::MIB;
+use dsnrep_workloads::WorkloadKind;
+
+struct Options {
+    scheme: TracedScheme,
+    kind: WorkloadKind,
+    txns: u64,
+    db_mib: u64,
+    crash: bool,
+    out: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simtrace [--scheme passive|active] [--version v0|v1|v2|v3]\n\
+         \x20               [--workload debit-credit|order-entry] [--txns N]\n\
+         \x20               [--db-mib N] [--crash] [--out DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        scheme: TracedScheme::Passive(VersionTag::ImprovedLog),
+        kind: WorkloadKind::DebitCredit,
+        txns: 2_000,
+        db_mib: 10,
+        crash: false,
+        out: None,
+    };
+    let mut version = VersionTag::ImprovedLog;
+    let mut active = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--scheme" => match value().as_str() {
+                "passive" => active = false,
+                "active" => active = true,
+                _ => usage(),
+            },
+            "--version" => {
+                version = match value().as_str() {
+                    "v0" => VersionTag::Vista,
+                    "v1" => VersionTag::MirrorCopy,
+                    "v2" => VersionTag::MirrorDiff,
+                    "v3" => VersionTag::ImprovedLog,
+                    _ => usage(),
+                }
+            }
+            "--workload" => {
+                opts.kind = match value().as_str() {
+                    "debit-credit" => WorkloadKind::DebitCredit,
+                    "order-entry" => WorkloadKind::OrderEntry,
+                    _ => usage(),
+                }
+            }
+            "--txns" => opts.txns = value().parse().unwrap_or_else(|_| usage()),
+            "--db-mib" => opts.db_mib = value().parse().unwrap_or_else(|_| usage()),
+            "--crash" => opts.crash = true,
+            "--out" => opts.out = Some(PathBuf::from(value())),
+            _ => usage(),
+        }
+    }
+    opts.scheme = if active {
+        TracedScheme::Active
+    } else {
+        TracedScheme::Passive(version)
+    };
+    opts
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let run = traced_run(
+        opts.scheme,
+        opts.kind,
+        opts.txns,
+        opts.db_mib * MIB,
+        opts.crash,
+    );
+
+    if let Some(dir) = &opts.out {
+        std::fs::create_dir_all(dir).expect("create output directory");
+        std::fs::write(dir.join("trace.json"), run.recorder.chrome_trace_json())
+            .expect("write trace.json");
+        std::fs::write(dir.join("events.jsonl"), run.recorder.events_jsonl())
+            .expect("write events.jsonl");
+        std::fs::write(dir.join("summary.json"), run.summary.to_json())
+            .expect("write summary.json");
+        eprintln!(
+            "wrote {}/trace.json (load in https://ui.perfetto.dev), events.jsonl, summary.json",
+            dir.display()
+        );
+    }
+    println!("{}", run.summary.to_json());
+
+    match &run.violation {
+        None => ExitCode::SUCCESS,
+        Some(v) => {
+            // Dump-on-failure: the artifacts above already carry the ring
+            // contents up to (and including) the violation event.
+            eprintln!("audit violation: {v}");
+            if opts.out.is_none() {
+                eprintln!("events.jsonl dump follows:");
+                eprint!("{}", run.recorder.events_jsonl());
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

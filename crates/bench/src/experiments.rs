@@ -65,9 +65,11 @@ impl RunScale {
 pub const PAPER_DB: u64 = 50 * MIB;
 /// The paper's per-stream database size for the SMP experiments.
 pub const SMP_DB: u64 = 10 * MIB;
-const SEED: u64 = 42;
+/// The fixed workload seed every experiment runs with.
+pub const SEED: u64 = 42;
 
-fn costs() -> CostModel {
+/// The calibrated cost model every experiment runs with.
+pub fn costs() -> CostModel {
     CostModel::alpha_21164a()
 }
 
@@ -123,9 +125,9 @@ mod permits {
     }
 }
 
-/// Runs `f(0..count)` with one scoped thread per cell — gated by
-/// [`permits`] to one running cell per core — and returns the results in
-/// input order.
+/// Runs `f(0..count)` with one scoped thread per cell — gated by the
+/// internal permit semaphore to one running cell per core — and returns
+/// the results in input order.
 ///
 /// Every experiment cell builds its own single-threaded simulation (the
 /// simulators are `Rc`/`RefCell`-based and never shared across cells), so

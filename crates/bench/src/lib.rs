@@ -18,6 +18,7 @@ mod chart;
 pub mod experiments;
 pub mod paper;
 mod report;
+pub mod trace;
 
 pub use chart::ascii_chart;
 pub use report::Comparison;

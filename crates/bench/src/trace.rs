@@ -1,0 +1,170 @@
+//! Traced end-to-end runs: the glue between the replication drivers and
+//! the flight recorder.
+//!
+//! Used by the `simtrace` binary and by `reproduce` when `DSNREP_TRACE=1`.
+//! Each run wires a [`FlightRecorder`] through a whole cluster, drives a
+//! workload, optionally crashes the primary, audits the surviving arena,
+//! and returns the recorder plus a finished [`TraceSummary`] whose stall
+//! breakdown covers every machine in the run.
+
+use dsnrep_core::{audit, AuditViolation, EngineConfig, MachineStats, VersionTag};
+use dsnrep_obs::{
+    FlightRecorder, TraceEventKind, TraceSummary, Tracer, TRACK_BACKUP, TRACK_PRIMARY,
+};
+use dsnrep_repl::{ActiveCluster, PassiveCluster};
+use dsnrep_workloads::WorkloadKind;
+
+use crate::experiments::{costs, SEED};
+
+/// Which replication scheme a traced run drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TracedScheme {
+    /// Passive backup (write doubling) with the given engine version.
+    Passive(VersionTag),
+    /// Active backup (redo ring; Version 3 locally).
+    Active,
+}
+
+impl TracedScheme {
+    /// The engine version whose layout ends up in the audited arena.
+    pub fn version(self) -> VersionTag {
+        match self {
+            TracedScheme::Passive(v) => v,
+            TracedScheme::Active => VersionTag::ImprovedLog,
+        }
+    }
+}
+
+/// Everything a traced run produced.
+#[derive(Debug)]
+pub struct TracedRun {
+    /// The recorder the whole cluster reported into.
+    pub recorder: FlightRecorder,
+    /// Summary statistics with the stall breakdown already attached.
+    pub summary: TraceSummary,
+    /// Primary throughput over the failure-free portion, TPS.
+    pub tps: f64,
+    /// `Some(violation)` if the post-run arena audit failed.
+    pub violation: Option<AuditViolation>,
+    /// Virtual-time cost of the takeover, if the run crashed the primary.
+    pub recovery_picos: Option<u64>,
+}
+
+impl TracedRun {
+    /// `true` when the run ended with a consistent arena.
+    pub fn passed(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+fn attach_stalls(
+    summary: &mut TraceSummary,
+    primary: &MachineStats,
+    backup: Option<&MachineStats>,
+) {
+    summary.set_stalls("primary", primary.stall_breakdown);
+    if let Some(b) = backup {
+        summary.set_stalls("backup", b.stall_breakdown);
+    }
+}
+
+/// Runs `txns` transactions of `kind` under `scheme` with a flight
+/// recorder attached to every machine and port. With `crash`, the primary
+/// is crashed afterwards and the backup's takeover is traced too; the
+/// audit then runs against the failed-over arena (otherwise against the
+/// quiesced primary's).
+pub fn traced_run(
+    scheme: TracedScheme,
+    kind: WorkloadKind,
+    txns: u64,
+    db_len: u64,
+    crash: bool,
+) -> TracedRun {
+    let recorder = FlightRecorder::new();
+    recorder.set_track_name(TRACK_PRIMARY, "primary");
+    recorder.set_track_name(TRACK_BACKUP, "backup");
+    let config = EngineConfig::for_db(db_len);
+    let version = scheme.version();
+
+    let (tps, primary_stats, backup_stats, recovery_picos, audit_result) = match scheme {
+        TracedScheme::Passive(version) => {
+            let mut cluster =
+                PassiveCluster::new_traced(costs(), version, &config, recorder.clone());
+            let mut workload = kind.build_traced(cluster.engine().db_region(), SEED);
+            let report = cluster.run(workload.as_mut(), txns);
+            let primary_stats = cluster.machine().stats();
+            if crash {
+                let failover = cluster.crash_primary();
+                let backup_stats = failover.machine.stats();
+                let result = audit(version, &failover.machine.arena().borrow());
+                (
+                    report.tps(),
+                    primary_stats,
+                    Some(backup_stats),
+                    Some(failover.recovery_time.as_picos()),
+                    result,
+                )
+            } else {
+                cluster.quiesce();
+                let primary_stats = cluster.machine().stats();
+                let result = audit(version, &cluster.machine().arena().borrow());
+                (report.tps(), primary_stats, None, None, result)
+            }
+        }
+        TracedScheme::Active => {
+            let mut cluster = ActiveCluster::new_traced(costs(), &config, recorder.clone());
+            let mut workload = kind.build_traced(cluster.db_region(), SEED);
+            let report = cluster.run(workload.as_mut(), txns);
+            if crash {
+                let primary_stats = cluster.machine().stats();
+                let failover = cluster
+                    .crash_primary()
+                    .expect("backup arena carries the replicated layout");
+                let backup_stats = failover.machine.stats();
+                let result = audit(version, &failover.machine.arena().borrow());
+                (
+                    report.tps(),
+                    primary_stats,
+                    Some(backup_stats),
+                    Some(failover.recovery_time.as_picos()),
+                    result,
+                )
+            } else {
+                cluster.settle();
+                let primary_stats = cluster.machine().stats();
+                let backup_stats = cluster.backup_stats();
+                let result = audit(version, &cluster.machine().arena().borrow());
+                (
+                    report.tps(),
+                    primary_stats,
+                    Some(backup_stats),
+                    None,
+                    result,
+                )
+            }
+        }
+    };
+
+    let violation = match audit_result {
+        Ok(_) => None,
+        Err(v) => {
+            // Stamp the failure into the ring so the dump carries it.
+            recorder.instant(
+                TRACK_PRIMARY,
+                TraceEventKind::AuditViolation,
+                primary_stats.now,
+                0,
+            );
+            Some(v)
+        }
+    };
+    let mut summary = recorder.summary();
+    attach_stalls(&mut summary, &primary_stats, backup_stats.as_ref());
+    TracedRun {
+        recorder,
+        summary,
+        tps,
+        violation,
+        recovery_picos,
+    }
+}

@@ -12,6 +12,7 @@
 use dsnrep_bench::experiments::{self, RunScale};
 use dsnrep_core::{EngineConfig, VersionTag};
 use dsnrep_mcsim::Traffic;
+use dsnrep_obs::FlightRecorder;
 use dsnrep_repl::{ActiveCluster, PassiveCluster, Scheme, SmpExperiment};
 use dsnrep_simcore::{CostModel, MIB};
 use dsnrep_workloads::WorkloadKind;
@@ -96,6 +97,62 @@ fn packet_and_byte_counts_are_deterministic() {
         let a = active_traffic(kind, 100);
         let b = active_traffic(kind, 100);
         assert_eq!(a, b, "active / {kind} diverged");
+    }
+}
+
+/// The flight recorder must be a pure observer: attaching one may not
+/// perturb a single virtual-time outcome. Same seeds, same txns — the
+/// traced run's TPS, packet counts, per-class bytes, and stall totals must
+/// be bit-identical to the untraced run's.
+#[test]
+fn tracing_does_not_change_simulated_outcomes() {
+    let config = EngineConfig::for_db(10 * MIB);
+    for version in VersionTag::ALL {
+        let untraced = passive_traffic(version, WorkloadKind::DebitCredit, 100);
+        let recorder = FlightRecorder::new();
+        let mut cluster =
+            PassiveCluster::new_traced(CostModel::alpha_21164a(), version, &config, recorder);
+        let mut workload = WorkloadKind::DebitCredit.build_traced(cluster.engine().db_region(), 42);
+        let report = cluster.run(workload.as_mut(), 100);
+        let traced = (report.tps(), cluster.traffic());
+        assert_eq!(untraced, traced, "tracing perturbed passive {version}");
+        assert_eq!(
+            untraced.0.to_bits(),
+            traced.0.to_bits(),
+            "passive {version} TPS not bit-identical under tracing"
+        );
+    }
+
+    let untraced = active_traffic(WorkloadKind::DebitCredit, 100);
+    let recorder = FlightRecorder::new();
+    let mut cluster = ActiveCluster::new_traced(CostModel::alpha_21164a(), &config, recorder);
+    let mut workload = WorkloadKind::DebitCredit.build_traced(cluster.db_region(), 42);
+    let report = cluster.run(workload.as_mut(), 100);
+    let traced = (report.tps(), cluster.traffic());
+    assert_eq!(untraced, traced, "tracing perturbed the active scheme");
+    assert_eq!(
+        untraced.0.to_bits(),
+        traced.0.to_bits(),
+        "active TPS not bit-identical under tracing"
+    );
+}
+
+/// The stall-attribution split must account for every stalled picosecond:
+/// the per-cause breakdown sums exactly to the machine's total stall time.
+#[test]
+fn stall_breakdown_sums_to_total_stall() {
+    let config = EngineConfig::for_db(10 * MIB);
+    for version in VersionTag::ALL {
+        let mut cluster = PassiveCluster::new(CostModel::alpha_21164a(), version, &config);
+        let mut workload = WorkloadKind::DebitCredit.build(cluster.engine().db_region(), 42);
+        cluster.run(workload.as_mut(), 100);
+        let stats = cluster.machine().stats();
+        let sum: u64 = stats.stall_breakdown.iter().map(|d| d.as_picos()).sum();
+        assert_eq!(
+            sum,
+            stats.stalled.as_picos(),
+            "passive {version}: stall causes do not cover the stall total"
+        );
     }
 }
 

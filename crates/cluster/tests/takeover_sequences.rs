@@ -1,0 +1,163 @@
+//! Interleaved failure/recovery sequences: repeated crashes, rejoins, and
+//! takeover timelines against one [`ViewManager`], checking that event
+//! ordering and epoch accounting stay consistent however the failures and
+//! recoveries interleave.
+
+use dsnrep_cluster::{
+    takeover_timeline, HeartbeatConfig, HeartbeatMonitor, HeartbeatSchedule, NodeId,
+    TakeoverTimeline, ViewManager,
+};
+use dsnrep_simcore::{VirtualDuration, VirtualInstant};
+
+const SAN_LATENCY: VirtualDuration = VirtualDuration::from_micros(3);
+
+fn config() -> HeartbeatConfig {
+    HeartbeatConfig {
+        period: VirtualDuration::from_micros(200),
+        misses: 3,
+    }
+}
+
+/// Every timeline's instants must be totally ordered: the last heartbeat
+/// precedes the crash's detection, detection does not precede the crash,
+/// and serving happens at or after view installation.
+fn assert_ordered(t: &TakeoverTimeline) {
+    assert!(
+        t.last_heartbeat_at <= t.detected_at,
+        "heartbeat after detection: {t:?}"
+    );
+    assert!(t.detected_at > t.crashed_at, "detected before crash: {t:?}");
+    assert!(
+        t.view_installed_at >= t.detected_at,
+        "view before detection: {t:?}"
+    );
+    assert!(
+        t.serving_at >= t.view_installed_at,
+        "serving before view: {t:?}"
+    );
+    assert_eq!(
+        t.outage(),
+        t.serving_at.saturating_duration_since(t.crashed_at)
+    );
+}
+
+#[test]
+fn successive_failovers_keep_ordering_and_advance_epochs() {
+    let mut views = ViewManager::new(
+        NodeId::new(0),
+        vec![NodeId::new(1), NodeId::new(2)],
+        VirtualInstant::EPOCH,
+    );
+    let recovery = VirtualDuration::from_millis(2);
+
+    // First crash: primary 0 dies, backup 1 takes over.
+    let crash1 = VirtualInstant::EPOCH + VirtualDuration::from_millis(5);
+    let t1 = takeover_timeline(config(), SAN_LATENCY, crash1, recovery, &mut views).unwrap();
+    assert_ordered(&t1);
+    assert_eq!(views.current().primary(), NodeId::new(1));
+    assert_eq!(views.current().epoch(), 2);
+    assert_eq!(views.current().installed_at(), t1.view_installed_at);
+
+    // Second crash, strictly after the first takeover finished serving:
+    // primary 1 dies, backup 2 takes over.
+    let crash2 = t1.serving_at + VirtualDuration::from_millis(5);
+    let t2 = takeover_timeline(config(), SAN_LATENCY, crash2, recovery, &mut views).unwrap();
+    assert_ordered(&t2);
+    assert_eq!(views.current().primary(), NodeId::new(2));
+    assert_eq!(views.current().epoch(), 3);
+
+    // The two takeovers must not overlap: the second timeline starts
+    // after the first one ends.
+    assert!(t2.crashed_at > t1.serving_at);
+    assert!(t2.last_heartbeat_at >= t1.view_installed_at);
+
+    // History (superseded views) plus the current view covers all three
+    // epochs in installation order.
+    let mut all: Vec<_> = views.history().to_vec();
+    all.push(views.current().clone());
+    assert_eq!(all.len(), 3);
+    for pair in all.windows(2) {
+        assert!(pair[0].installed_at() <= pair[1].installed_at());
+        assert_eq!(pair[0].epoch() + 1, pair[1].epoch());
+    }
+}
+
+#[test]
+fn recovery_interleaved_with_failure_restores_redundancy() {
+    let mut views = ViewManager::new(NodeId::new(0), vec![NodeId::new(1)], VirtualInstant::EPOCH);
+    let recovery = VirtualDuration::from_millis(1);
+
+    // Crash the primary; node 1 takes over and the cluster is down to one.
+    let crash1 = VirtualInstant::EPOCH + VirtualDuration::from_millis(3);
+    let t1 = takeover_timeline(config(), SAN_LATENCY, crash1, recovery, &mut views).unwrap();
+    assert_ordered(&t1);
+    assert!(views.current().backups().is_empty());
+
+    // The crashed node reboots and rejoins as a backup after the takeover.
+    let rejoin_at = t1.serving_at + VirtualDuration::from_millis(10);
+    let view = views.join(NodeId::new(0), rejoin_at);
+    assert_eq!(view.primary(), NodeId::new(1));
+    assert_eq!(view.backups(), &[NodeId::new(0)]);
+    assert!(view.installed_at() >= t1.serving_at);
+
+    // Now the new primary crashes too: the rejoined node takes back over.
+    let crash2 = rejoin_at + VirtualDuration::from_millis(3);
+    let t2 = takeover_timeline(config(), SAN_LATENCY, crash2, recovery, &mut views).unwrap();
+    assert_ordered(&t2);
+    assert_eq!(views.current().primary(), NodeId::new(0));
+    // Epochs: initial (1), first failover (2), rejoin (3), second failover (4).
+    assert_eq!(views.current().epoch(), 4);
+    assert!(t2.view_installed_at > t1.view_installed_at);
+}
+
+#[test]
+fn detection_latency_is_bounded_by_the_miss_budget() {
+    // Whatever instant the crash lands on relative to the beat schedule,
+    // detection must come within (misses + 1) periods + delivery latency.
+    let cfg = config();
+    let bound = cfg.period * u64::from(cfg.misses + 1) + SAN_LATENCY;
+    for offset_us in [1u64, 50, 199, 200, 201, 999, 1000, 1234] {
+        let mut views =
+            ViewManager::new(NodeId::new(0), vec![NodeId::new(1)], VirtualInstant::EPOCH);
+        let crash = VirtualInstant::EPOCH + VirtualDuration::from_micros(offset_us);
+        let t =
+            takeover_timeline(cfg, SAN_LATENCY, crash, VirtualDuration::ZERO, &mut views).unwrap();
+        assert_ordered(&t);
+        assert!(
+            t.detected_at <= crash + bound,
+            "offset {offset_us}us: detection {t:?} beyond bound"
+        );
+    }
+}
+
+#[test]
+fn monitor_tracks_the_schedule_it_watches() {
+    // Drive a schedule and a monitor together through a healthy phase, a
+    // missed-beat phase (simulating a stall, not a crash), and a resumed
+    // phase; the monitor's verdict must flip exactly with the miss budget.
+    let cfg = config();
+    let mut schedule = HeartbeatSchedule::new(cfg, VirtualInstant::EPOCH);
+    let mut monitor = HeartbeatMonitor::new(cfg, VirtualInstant::EPOCH);
+
+    // Healthy: 10 on-time beats, never suspect while current.
+    for _ in 0..10 {
+        let sent = schedule.next_due();
+        schedule.emitted(sent);
+        monitor.observe(sent + SAN_LATENCY);
+        assert!(!monitor.is_suspect(sent + SAN_LATENCY));
+    }
+    assert_eq!(monitor.observed(), schedule.count());
+    let last_arrival = monitor.last_seen();
+
+    // Stall: the sender misses beats. Just inside the budget: not suspect.
+    let budget = cfg.period * u64::from(cfg.misses);
+    assert!(!monitor.is_suspect(last_arrival + budget));
+    // Just past it: suspect.
+    assert!(monitor.is_suspect(last_arrival + budget + VirtualDuration::from_picos(1)));
+
+    // Resume: a late beat clears the suspicion going forward.
+    let late = last_arrival + budget + cfg.period;
+    monitor.observe(late);
+    assert!(!monitor.is_suspect(late + cfg.period));
+    assert_eq!(monitor.observed(), 11);
+}

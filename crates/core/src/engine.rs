@@ -14,6 +14,7 @@
 
 use core::fmt;
 
+use dsnrep_obs::{NullTracer, Tracer};
 use dsnrep_simcore::{Addr, Region};
 
 use crate::error::TxError;
@@ -76,8 +77,11 @@ pub struct RecoveryReport {
 ///
 /// All four of the paper's versions implement this trait, which lets the
 /// replication drivers, the workloads and the benchmarks treat them
-/// uniformly (`Box<dyn Engine>` is used throughout).
-pub trait Engine: core::fmt::Debug {
+/// uniformly (`Box<dyn Engine>` is used throughout). The `T` parameter is
+/// the tracer threaded through the machine; it defaults to [`NullTracer`],
+/// so `dyn Engine` means the untraced engine and existing code compiles
+/// unchanged.
+pub trait Engine<T: Tracer = NullTracer>: core::fmt::Debug {
     /// Which design this engine implements.
     fn version(&self) -> VersionTag;
 
@@ -95,7 +99,7 @@ pub trait Engine: core::fmt::Debug {
     /// # Errors
     ///
     /// [`TxError::TransactionActive`] if one is already running.
-    fn begin(&mut self, m: &mut Machine) -> Result<(), TxError>;
+    fn begin(&mut self, m: &mut Machine<T>) -> Result<(), TxError>;
 
     /// Declares that the current transaction may modify `len` bytes at
     /// `base` (which must lie inside the database region).
@@ -104,18 +108,18 @@ pub trait Engine: core::fmt::Debug {
     ///
     /// [`TxError::NoActiveTransaction`], [`TxError::RangeOutOfDatabase`],
     /// or a version-specific capacity error.
-    fn set_range(&mut self, m: &mut Machine, base: Addr, len: u64) -> Result<(), TxError>;
+    fn set_range(&mut self, m: &mut Machine<T>, base: Addr, len: u64) -> Result<(), TxError>;
 
     /// Writes `bytes` at `base`, in place, within a declared range.
     ///
     /// # Errors
     ///
     /// [`TxError::NoActiveTransaction`] or [`TxError::UnprotectedWrite`].
-    fn write(&mut self, m: &mut Machine, base: Addr, bytes: &[u8]) -> Result<(), TxError>;
+    fn write(&mut self, m: &mut Machine<T>, base: Addr, bytes: &[u8]) -> Result<(), TxError>;
 
     /// Reads `buf.len()` bytes at `base` (allowed inside or outside a
     /// transaction; reads need no `set_range`).
-    fn read(&mut self, m: &mut Machine, base: Addr, buf: &mut [u8]);
+    fn read(&mut self, m: &mut Machine<T>, base: Addr, buf: &mut [u8]);
 
     /// Commits the current transaction (1-safe: returns as soon as the
     /// commit is durable locally).
@@ -123,22 +127,22 @@ pub trait Engine: core::fmt::Debug {
     /// # Errors
     ///
     /// [`TxError::NoActiveTransaction`].
-    fn commit(&mut self, m: &mut Machine) -> Result<(), TxError>;
+    fn commit(&mut self, m: &mut Machine<T>) -> Result<(), TxError>;
 
     /// Aborts the current transaction, restoring every declared range.
     ///
     /// # Errors
     ///
     /// [`TxError::NoActiveTransaction`].
-    fn abort(&mut self, m: &mut Machine) -> Result<(), TxError>;
+    fn abort(&mut self, m: &mut Machine<T>) -> Result<(), TxError>;
 
     /// Runs crash recovery against the (surviving) arena: rolls back an
     /// interrupted transaction, or — for the mirroring versions — rolls an
     /// interrupted commit forward. Idempotent.
-    fn recover(&mut self, m: &mut Machine) -> RecoveryReport;
+    fn recover(&mut self, m: &mut Machine<T>) -> RecoveryReport;
 
     /// Number of committed transactions (the persistent sequence number).
-    fn committed_seq(&self, m: &mut Machine) -> u64;
+    fn committed_seq(&self, m: &mut Machine<T>) -> u64;
 }
 
 /// Convenience: run `body` inside a transaction and commit it.
@@ -152,10 +156,10 @@ pub trait Engine: core::fmt::Debug {
 /// # Examples
 ///
 /// See the crate-level documentation of [`crate`].
-pub fn run_transaction<E: Engine + ?Sized>(
+pub fn run_transaction<T: Tracer, E: Engine<T> + ?Sized>(
     engine: &mut E,
-    m: &mut Machine,
-    body: impl FnOnce(&mut E, &mut Machine) -> Result<(), TxError>,
+    m: &mut Machine<T>,
+    body: impl FnOnce(&mut E, &mut Machine<T>) -> Result<(), TxError>,
 ) -> Result<(), TxError> {
     engine.begin(m)?;
     body(engine, m)?;

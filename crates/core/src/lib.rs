@@ -112,11 +112,11 @@ use dsnrep_rio::Arena;
 /// let engine = build_engine(VersionTag::MirrorDiff, &mut m, &config);
 /// assert_eq!(engine.version(), VersionTag::MirrorDiff);
 /// ```
-pub fn build_engine(
+pub fn build_engine<T: dsnrep_obs::Tracer + 'static>(
     version: VersionTag,
-    m: &mut Machine,
+    m: &mut Machine<T>,
     config: &EngineConfig,
-) -> Box<dyn Engine> {
+) -> Box<dyn Engine<T>> {
     match version {
         VersionTag::Vista => Box::new(VistaEngine::format(m, config)),
         VersionTag::MirrorCopy => Box::new(MirrorEngine::format(m, config, MirrorStrategy::Copy)),
@@ -131,7 +131,10 @@ pub fn build_engine(
 /// # Panics
 ///
 /// Panics if the arena was not formatted for `version`'s layout.
-pub fn attach_engine(version: VersionTag, m: &mut Machine) -> Box<dyn Engine> {
+pub fn attach_engine<T: dsnrep_obs::Tracer + 'static>(
+    version: VersionTag,
+    m: &mut Machine<T>,
+) -> Box<dyn Engine<T>> {
     match version {
         VersionTag::Vista => {
             Box::new(VistaEngine::attach(m).expect("arena formatted for Version 0"))

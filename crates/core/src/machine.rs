@@ -18,10 +18,11 @@ use std::fmt;
 use std::rc::Rc;
 
 use dsnrep_mcsim::TxPort;
+use dsnrep_obs::{NullTracer, Phase, TraceEventKind, Tracer};
 use dsnrep_rio::{AllocMem, Arena};
 use dsnrep_simcore::{
-    Addr, CacheOutcome, Clock, CostModel, DirectMappedCache, Region, StoreSink, TrafficClass,
-    VirtualDuration, VirtualInstant,
+    Addr, CacheOutcome, Clock, CostModel, DirectMappedCache, Region, StallCause, StoreSink,
+    TrafficClass, VirtualDuration, VirtualInstant,
 };
 
 /// When a commit may return (Gray & Reuter's taxonomy, paper §2.1).
@@ -44,8 +45,11 @@ pub struct MachineStats {
     /// Current virtual time.
     pub now: VirtualInstant,
     /// Time spent stalled on shared resources (posted-write window, redo
-    /// ring, 2-safe waits).
+    /// ring, 2-safe waits). Always equals the sum of `stall_breakdown`.
     pub stalled: VirtualDuration,
+    /// Stall time attributed per [`StallCause`], indexed by
+    /// [`StallCause::index`].
+    pub stall_breakdown: [VirtualDuration; StallCause::COUNT],
     /// Cumulative cache hits.
     pub cache_hits: u64,
     /// Cumulative cache misses.
@@ -83,12 +87,12 @@ impl MachineStats {
 /// assert_eq!(buf, [1, 2, 3]);
 /// assert!(m.now().as_picos() > 0); // accesses cost virtual time
 /// ```
-pub struct Machine {
+pub struct Machine<T: Tracer = NullTracer> {
     costs: CostModel,
     cache: DirectMappedCache,
     clock: Clock,
     arena: Rc<RefCell<Arena>>,
-    port: Option<TxPort>,
+    port: Option<TxPort<T>>,
     replicated: Vec<Region>,
     durability: Durability,
     /// Fault injection: remaining accounted stores before the simulated
@@ -96,9 +100,14 @@ pub struct Machine {
     /// subsequent store is silently dropped — exactly what a crash at that
     /// store boundary looks like to recoverable memory.
     store_budget: Option<u64>,
+    tracer: T,
+    track: u32,
+    /// Start of the transaction currently being traced (set by
+    /// [`Machine::trace_tx_begin`], consumed by [`Machine::trace_tx_end`]).
+    tx_start: Option<VirtualInstant>,
 }
 
-impl fmt::Debug for Machine {
+impl<T: Tracer> fmt::Debug for Machine<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Machine")
             .field("now", &self.clock.now())
@@ -111,6 +120,27 @@ impl fmt::Debug for Machine {
 impl Machine {
     /// Creates a standalone machine (no backup).
     pub fn standalone(costs: CostModel, arena: Rc<RefCell<Arena>>) -> Self {
+        Machine::standalone_traced(costs, arena, NullTracer, 0)
+    }
+
+    /// Creates a machine whose replicated regions are doubled through
+    /// `port`.
+    pub fn with_port(costs: CostModel, arena: Rc<RefCell<Arena>>, port: TxPort) -> Self {
+        let mut m = Machine::standalone(costs, arena);
+        m.port = Some(port);
+        m
+    }
+}
+
+impl<T: Tracer> Machine<T> {
+    /// Creates a standalone machine (no backup) that reports phase spans
+    /// and point events to `tracer` as `track`.
+    pub fn standalone_traced(
+        costs: CostModel,
+        arena: Rc<RefCell<Arena>>,
+        tracer: T,
+        track: u32,
+    ) -> Self {
         let cache = DirectMappedCache::new(costs.cache_capacity, costs.cache_line);
         Machine {
             costs,
@@ -121,21 +151,72 @@ impl Machine {
             replicated: Vec::new(),
             durability: Durability::OneSafe,
             store_budget: None,
+            tracer,
+            track,
+            tx_start: None,
         }
     }
 
-    /// Creates a machine whose replicated regions are doubled through
-    /// `port`.
-    pub fn with_port(costs: CostModel, arena: Rc<RefCell<Arena>>, port: TxPort) -> Self {
-        let mut m = Machine::standalone(costs, arena);
+    /// Creates a traced machine whose replicated regions are doubled
+    /// through `port`.
+    pub fn with_port_traced(
+        costs: CostModel,
+        arena: Rc<RefCell<Arena>>,
+        port: TxPort<T>,
+        tracer: T,
+        track: u32,
+    ) -> Self {
+        let mut m = Machine::standalone_traced(costs, arena, tracer, track);
         m.port = Some(port);
         m
     }
 
     /// Attaches a SAN port after construction (e.g. once the backup arena
     /// has been cloned from the loaded primary).
-    pub fn attach_port(&mut self, port: TxPort) {
+    pub fn attach_port(&mut self, port: TxPort<T>) {
         self.port = Some(port);
+    }
+
+    /// The tracer this machine reports to (a cheap handle).
+    pub fn tracer(&self) -> &T {
+        &self.tracer
+    }
+
+    /// The trace track (simulated-node id) this machine reports as.
+    pub fn track(&self) -> u32 {
+        self.track
+    }
+
+    /// Records a phase span from `start` to the current virtual time.
+    /// Free when the tracer is a no-op.
+    #[inline]
+    pub fn trace_phase(&self, phase: Phase, start: VirtualInstant) {
+        self.tracer.span(self.track, phase, start, self.clock.now());
+    }
+
+    /// Records a point event at the current virtual time.
+    #[inline]
+    pub fn trace_event(&self, kind: TraceEventKind, arg: u64) {
+        self.tracer.instant(self.track, kind, self.clock.now(), arg);
+    }
+
+    /// Marks the start of a transaction span (engines call this in
+    /// `begin`). A no-op when tracing is disabled.
+    #[inline]
+    pub fn trace_tx_begin(&mut self) {
+        if self.tracer.is_enabled() {
+            self.tx_start = Some(self.clock.now());
+        }
+    }
+
+    /// Closes the open transaction span, if any (engines call this at the
+    /// end of `commit` and `abort`).
+    #[inline]
+    pub fn trace_tx_end(&mut self) {
+        if let Some(start) = self.tx_start.take() {
+            self.tracer
+                .span(self.track, Phase::Txn, start, self.clock.now());
+        }
     }
 
     /// Marks `region` as write-through mapped: stores to it are doubled to
@@ -171,7 +252,7 @@ impl Machine {
     }
 
     /// The SAN port, if any.
-    pub fn port_mut(&mut self) -> Option<&mut TxPort> {
+    pub fn port_mut(&mut self) -> Option<&mut TxPort<T>> {
         self.port.as_mut()
     }
 
@@ -294,7 +375,10 @@ impl Machine {
     /// stored so far is ordered before everything stored later.
     pub fn barrier(&mut self) {
         if let Some(port) = self.port.as_mut() {
+            let t0 = self.clock.now();
             port.barrier(&mut self.clock);
+            self.tracer
+                .span(self.track, Phase::Barrier, t0, self.clock.now());
         }
     }
 
@@ -316,7 +400,7 @@ impl Machine {
         if let Some(port) = self.port.as_mut() {
             port.barrier(&mut self.clock);
             let delivered = port.last_delivered();
-            self.clock.advance_to(delivered);
+            self.clock.advance_to_for(StallCause::TwoSafe, delivered);
             port.deliver_up_to(delivered);
         }
     }
@@ -327,6 +411,7 @@ impl Machine {
         MachineStats {
             now: self.clock.now(),
             stalled: self.clock.stalled(),
+            stall_breakdown: self.clock.stall_breakdown(),
             cache_hits: cache.hits,
             cache_misses: cache.misses,
         }
@@ -373,18 +458,18 @@ impl Machine {
 
     /// A view of this machine that implements [`AllocMem`], charging every
     /// allocator access as metadata traffic.
-    pub fn meta_mem(&mut self) -> MetaMem<'_> {
+    pub fn meta_mem(&mut self) -> MetaMem<'_, T> {
         MetaMem { machine: self }
     }
 }
 
 /// Adapter: the recoverable heap's memory accesses, accounted as metadata.
 #[derive(Debug)]
-pub struct MetaMem<'a> {
-    machine: &'a mut Machine,
+pub struct MetaMem<'a, T: Tracer = NullTracer> {
+    machine: &'a mut Machine<T>,
 }
 
-impl AllocMem for MetaMem<'_> {
+impl<T: Tracer> AllocMem for MetaMem<'_, T> {
     fn read_u64(&mut self, addr: Addr) -> u64 {
         self.machine.read_u64(addr)
     }

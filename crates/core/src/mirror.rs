@@ -21,6 +21,7 @@
 //! recovery: `Active` rolls the declared ranges back from the mirror;
 //! `Propagate` (commit point passed) rolls them forward into the mirror.
 
+use dsnrep_obs::{Phase, Tracer};
 use dsnrep_rio::{Arena, Layout, LayoutBuilder, LayoutError, RegionId, RootSlot};
 use dsnrep_simcore::{Addr, Region, TrafficClass, VirtualDuration};
 
@@ -107,7 +108,11 @@ impl MirrorEngine {
     /// Formats the machine's arena for this engine (setup path,
     /// unaccounted). The mirror is initialized equal to the (zeroed)
     /// database.
-    pub fn format(m: &mut Machine, config: &EngineConfig, strategy: MirrorStrategy) -> Self {
+    pub fn format<T: Tracer>(
+        m: &mut Machine<T>,
+        config: &EngineConfig,
+        strategy: MirrorStrategy,
+    ) -> Self {
         let layout = Self::layout(config);
         {
             let mut arena = m.arena().borrow_mut();
@@ -125,7 +130,10 @@ impl MirrorEngine {
     ///
     /// Returns [`LayoutError`] if the arena was not formatted by
     /// [`MirrorEngine::format`].
-    pub fn attach(m: &mut Machine, strategy: MirrorStrategy) -> Result<Self, LayoutError> {
+    pub fn attach<T: Tracer>(
+        m: &mut Machine<T>,
+        strategy: MirrorStrategy,
+    ) -> Result<Self, LayoutError> {
         let layout = Layout::read(&m.arena().borrow())?;
         let ranges_region = layout.expect_region(RegionId::Ranges);
         let max_ranges = ((ranges_region.len() - RECS_OFF) / REC_SIZE) as usize;
@@ -149,6 +157,11 @@ impl MirrorEngine {
     /// The strategy in use.
     pub fn strategy(&self) -> MirrorStrategy {
         self.strategy
+    }
+
+    /// The database region transactions operate on.
+    pub fn db_region(&self) -> Region {
+        self.db
     }
 
     /// The regions a passive backup maps write-through: header, database
@@ -187,7 +200,7 @@ impl MirrorEngine {
 
     /// Re-initializes the mirror to equal the database (setup path,
     /// unaccounted). Call after the initial database load.
-    pub fn sync_mirror_from_db(&self, m: &mut Machine) {
+    pub fn sync_mirror_from_db<T: Tracer>(&self, m: &mut Machine<T>) {
         let mut arena = m.arena().borrow_mut();
         let mut off = 0u64;
         while off < self.db.len() {
@@ -219,7 +232,7 @@ impl MirrorEngine {
     }
 
     /// Propagates one range db -> mirror per the strategy, charging costs.
-    fn propagate_range(&mut self, m: &mut Machine, range: Region) {
+    fn propagate_range<T: Tracer>(&mut self, m: &mut Machine<T>, range: Region) {
         let len = range.len() as usize;
         self.scratch_db.resize(len, 0);
         m.read(range.start(), &mut self.scratch_db[..]);
@@ -268,7 +281,7 @@ impl MirrorEngine {
     }
 
     /// Restores one range mirror -> db (abort path), charging costs.
-    fn restore_range(&mut self, m: &mut Machine, range: Region) {
+    fn restore_range<T: Tracer>(&mut self, m: &mut Machine<T>, range: Region) {
         let len = range.len() as usize;
         self.scratch_mirror.resize(len, 0);
         m.read(
@@ -297,7 +310,7 @@ impl MirrorEngine {
     }
 }
 
-impl Engine for MirrorEngine {
+impl<T: Tracer> Engine<T> for MirrorEngine {
     fn version(&self) -> VersionTag {
         match self.strategy {
             MirrorStrategy::Copy => VersionTag::MirrorCopy,
@@ -313,8 +326,10 @@ impl Engine for MirrorEngine {
         Self::replicated_regions(self)
     }
 
-    fn begin(&mut self, m: &mut Machine) -> Result<(), TxError> {
+    fn begin(&mut self, m: &mut Machine<T>) -> Result<(), TxError> {
         self.ranges.begin()?;
+        m.trace_tx_begin();
+        let t0 = m.now();
         m.charge(m.costs().txn_begin);
         let seq = m.read_u64(self.seq_addr());
         m.write_u64(
@@ -322,38 +337,44 @@ impl Engine for MirrorEngine {
             seq << 2 | PHASE_ACTIVE,
             TrafficClass::Meta,
         );
+        m.trace_phase(Phase::Begin, t0);
         Ok(())
     }
 
-    fn set_range(&mut self, m: &mut Machine, base: Addr, len: u64) -> Result<(), TxError> {
+    fn set_range(&mut self, m: &mut Machine<T>, base: Addr, len: u64) -> Result<(), TxError> {
         if self.ranges.is_active() && self.ranges.len() >= self.max_ranges {
             return Err(TxError::TooManyRanges {
                 capacity: self.max_ranges,
             });
         }
         self.ranges.add(self.db, base, len)?;
+        let t0 = m.now();
         m.charge(m.costs().set_range);
         // Append the record to the persistent array and bump the count.
         let i = self.ranges.len() as u64 - 1;
         m.write_u64(self.rec_addr(i), base.as_u64(), TrafficClass::Meta);
         m.write_u64(self.rec_addr(i) + 8, len, TrafficClass::Meta);
         m.write_u64(self.count_addr(), i + 1, TrafficClass::Meta);
+        m.trace_phase(Phase::UndoWrite, t0);
         Ok(())
     }
 
-    fn write(&mut self, m: &mut Machine, base: Addr, bytes: &[u8]) -> Result<(), TxError> {
+    fn write(&mut self, m: &mut Machine<T>, base: Addr, bytes: &[u8]) -> Result<(), TxError> {
         self.ranges.check_covered(base, bytes.len() as u64)?;
+        let t0 = m.now();
         m.charge(m.costs().write_call);
         m.write(base, bytes, TrafficClass::Modified);
+        m.trace_phase(Phase::DbWrite, t0);
         Ok(())
     }
 
-    fn read(&mut self, m: &mut Machine, base: Addr, buf: &mut [u8]) {
+    fn read(&mut self, m: &mut Machine<T>, base: Addr, buf: &mut [u8]) {
         m.read(base, buf);
     }
 
-    fn commit(&mut self, m: &mut Machine) -> Result<(), TxError> {
+    fn commit(&mut self, m: &mut Machine<T>) -> Result<(), TxError> {
         self.ranges.require_active()?;
+        let t0 = m.now();
         m.charge(m.costs().txn_commit);
         let seq = m.read_u64(self.seq_addr());
         // Commit point (local): once Propagate is durable, recovery rolls
@@ -382,11 +403,14 @@ impl Engine for MirrorEngine {
         );
         m.write_u64(self.count_addr(), 0, TrafficClass::Meta);
         self.ranges.end();
+        m.trace_phase(Phase::Commit, t0);
+        m.trace_tx_end();
         Ok(())
     }
 
-    fn abort(&mut self, m: &mut Machine) -> Result<(), TxError> {
+    fn abort(&mut self, m: &mut Machine<T>) -> Result<(), TxError> {
         self.ranges.require_active()?;
+        let t0 = m.now();
         m.charge(m.costs().txn_abort);
         let seq = m.read_u64(self.seq_addr());
         let ranges: Vec<Region> = self.ranges.iter().collect();
@@ -397,10 +421,13 @@ impl Engine for MirrorEngine {
         m.write_u64(self.phase_addr(), seq << 2 | PHASE_IDLE, TrafficClass::Meta);
         m.write_u64(self.count_addr(), 0, TrafficClass::Meta);
         self.ranges.end();
+        m.trace_phase(Phase::Abort, t0);
+        m.trace_tx_end();
         Ok(())
     }
 
-    fn recover(&mut self, m: &mut Machine) -> RecoveryReport {
+    fn recover(&mut self, m: &mut Machine<T>) -> RecoveryReport {
+        let t0 = m.now();
         let mut arena = m.arena().borrow_mut();
         let phase_word = arena.read_u64(self.phase_addr());
         let (phase, seq_at_begin) = (phase_word & 3, phase_word >> 2);
@@ -436,10 +463,11 @@ impl Engine for MirrorEngine {
         report.committed_seq = committed;
         drop(arena);
         self.ranges = TxRanges::default();
+        m.trace_phase(Phase::Recovery, t0);
         report
     }
 
-    fn committed_seq(&self, m: &mut Machine) -> u64 {
+    fn committed_seq(&self, m: &mut Machine<T>) -> u64 {
         m.arena()
             .borrow()
             .read_u64(Layout::root_addr(RootSlot::TxnSeq))

@@ -21,6 +21,7 @@
 //! | `len == 0` | commit marker; `base_off` = low bits of the sequence |
 //! | otherwise | `len` payload bytes for database offset `base_off` |
 
+use dsnrep_obs::Tracer;
 use dsnrep_rio::{Layout, RootSlot};
 use dsnrep_simcore::{Addr, Region, TrafficClass};
 
@@ -68,7 +69,7 @@ impl RedoWriter {
     }
 
     /// Re-reads the producer cursor from the arena (crash recovery).
-    pub fn attach(ring: Region, db: Region, m: &mut Machine) -> Self {
+    pub fn attach<T: Tracer>(ring: Region, db: Region, m: &mut Machine<T>) -> Self {
         let mut w = Self::new(ring, db);
         w.prod = m
             .arena()
@@ -134,7 +135,7 @@ impl RedoWriter {
 
     /// Free ring space as seen by the primary (reads the consumer cursor
     /// the backup wrote back).
-    pub fn free_space(&self, m: &mut Machine) -> u64 {
+    pub fn free_space<T: Tracer>(&self, m: &mut Machine<T>) -> u64 {
         let cons = m.read_u64(Layout::root_addr(RootSlot::RingConsumer));
         self.cap - (self.prod - cons)
     }
@@ -150,7 +151,11 @@ impl RedoWriter {
     ///
     /// [`TxError::RedoRecordTooLarge`] if a single staged record cannot fit
     /// in the ring at all (nothing is shipped; the staging is preserved).
-    pub fn publish_commit(&mut self, m: &mut Machine, seq: u64) -> Result<(), TxError> {
+    pub fn publish_commit<T: Tracer>(
+        &mut self,
+        m: &mut Machine<T>,
+        seq: u64,
+    ) -> Result<(), TxError> {
         for (_, data) in &self.staged {
             let size = rec_size(data.len() as u64);
             if size + HDR > self.cap {
@@ -198,7 +203,7 @@ impl RedoWriter {
         Ok(())
     }
 
-    fn write_pad(&mut self, m: &mut Machine, contig: u64) {
+    fn write_pad<T: Tracer>(&mut self, m: &mut Machine<T>, contig: u64) {
         let at = self.ring.start() + (self.prod & (self.cap - 1));
         let mut hdr = [0u8; 8];
         hdr[..4].copy_from_slice(&PAD.to_le_bytes());
@@ -259,7 +264,7 @@ impl RedoReader {
     /// database, advances the consumer cursor, and writes the cursor back
     /// (write-through) once per commit marker — all charged to the backup
     /// machine's clock.
-    pub fn poll(&mut self, m: &mut Machine) -> Applied {
+    pub fn poll<T: Tracer>(&mut self, m: &mut Machine<T>) -> Applied {
         let prod = m.read_u64(Layout::root_addr(RootSlot::RingProducer));
         let mut applied = Applied::default();
         while self.cons < prod {

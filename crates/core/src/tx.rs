@@ -6,6 +6,7 @@
 //! so early returns and `?` propagation can never leak a half-finished
 //! transaction into the next one.
 
+use dsnrep_obs::{NullTracer, Tracer};
 use dsnrep_simcore::Addr;
 
 use crate::engine::Engine;
@@ -43,19 +44,22 @@ use crate::machine::Machine;
 /// # Ok::<(), dsnrep_core::TxError>(())
 /// ```
 #[derive(Debug)]
-pub struct Tx<'a> {
-    engine: &'a mut dyn Engine,
-    machine: &'a mut Machine,
+pub struct Tx<'a, T: Tracer = NullTracer> {
+    engine: &'a mut dyn Engine<T>,
+    machine: &'a mut Machine<T>,
     finished: bool,
 }
 
-impl<'a> Tx<'a> {
+impl<'a, T: Tracer> Tx<'a, T> {
     /// Starts a transaction.
     ///
     /// # Errors
     ///
     /// Propagates [`Engine::begin`] errors.
-    pub fn begin(engine: &'a mut dyn Engine, machine: &'a mut Machine) -> Result<Self, TxError> {
+    pub fn begin(
+        engine: &'a mut dyn Engine<T>,
+        machine: &'a mut Machine<T>,
+    ) -> Result<Self, TxError> {
         engine.begin(machine)?;
         Ok(Tx {
             engine,
@@ -127,7 +131,7 @@ impl<'a> Tx<'a> {
     }
 }
 
-impl Drop for Tx<'_> {
+impl<T: Tracer> Drop for Tx<'_, T> {
     fn drop(&mut self) {
         if !self.finished {
             // Destructors never fail (C-DTOR-FAIL): a double-finish error

@@ -18,6 +18,7 @@
 //! before each publish point extends the same guarantee to the backup's
 //! copy (modulo the 1-safe loss window).
 
+use dsnrep_obs::{Phase, Tracer};
 use dsnrep_rio::{
     Arena, FreeListHeap, Layout, LayoutBuilder, LayoutError, RawMem, RegionId, RootSlot,
 };
@@ -89,7 +90,7 @@ impl VistaEngine {
     /// # Panics
     ///
     /// Panics if the arena is smaller than [`VistaEngine::arena_len`].
-    pub fn format(m: &mut Machine, config: &EngineConfig) -> Self {
+    pub fn format<T: Tracer>(m: &mut Machine<T>, config: &EngineConfig) -> Self {
         let layout = Self::layout(config);
         let mut arena = m.arena().borrow_mut();
         layout.format(&mut arena);
@@ -113,7 +114,7 @@ impl VistaEngine {
     ///
     /// Returns [`LayoutError`] if the arena was not formatted by
     /// [`VistaEngine::format`].
-    pub fn attach(m: &mut Machine) -> Result<Self, LayoutError> {
+    pub fn attach<T: Tracer>(m: &mut Machine<T>) -> Result<Self, LayoutError> {
         let arena = m.arena().borrow();
         let layout = Layout::read(&arena)?;
         drop(arena);
@@ -125,6 +126,11 @@ impl VistaEngine {
             heap: FreeListHeap::attach(heap_region),
             ranges: TxRanges::default(),
         })
+    }
+
+    /// The database region transactions operate on.
+    pub fn db_region(&self) -> Region {
+        self.db
     }
 
     /// The regions a passive backup maps write-through: everything — the
@@ -173,7 +179,7 @@ impl VistaEngine {
     }
 }
 
-impl Engine for VistaEngine {
+impl<T: Tracer> Engine<T> for VistaEngine {
     fn version(&self) -> VersionTag {
         VersionTag::Vista
     }
@@ -186,14 +192,18 @@ impl Engine for VistaEngine {
         Self::replicated_regions(self)
     }
 
-    fn begin(&mut self, m: &mut Machine) -> Result<(), TxError> {
+    fn begin(&mut self, m: &mut Machine<T>) -> Result<(), TxError> {
         self.ranges.begin()?;
+        m.trace_tx_begin();
+        let t0 = m.now();
         m.charge(m.costs().txn_begin);
+        m.trace_phase(Phase::Begin, t0);
         Ok(())
     }
 
-    fn set_range(&mut self, m: &mut Machine, base: Addr, len: u64) -> Result<(), TxError> {
+    fn set_range(&mut self, m: &mut Machine<T>, base: Addr, len: u64) -> Result<(), TxError> {
         self.ranges.add(self.db, base, len)?;
+        let t0 = m.now();
         m.charge(m.costs().set_range);
         // Allocate the record and the data area from the recoverable heap.
         m.charge(m.costs().heap_alloc * 2);
@@ -232,22 +242,26 @@ impl Engine for VistaEngine {
         m.write_u64(node + REC_DATA, area.as_u64(), TrafficClass::Meta);
         m.write_u64(node + REC_NEXT, old_head, TrafficClass::Meta);
         m.write_u64(self.head_addr(), node.as_u64(), TrafficClass::Meta);
+        m.trace_phase(Phase::UndoWrite, t0);
         Ok(())
     }
 
-    fn write(&mut self, m: &mut Machine, base: Addr, bytes: &[u8]) -> Result<(), TxError> {
+    fn write(&mut self, m: &mut Machine<T>, base: Addr, bytes: &[u8]) -> Result<(), TxError> {
         self.ranges.check_covered(base, bytes.len() as u64)?;
+        let t0 = m.now();
         m.charge(m.costs().write_call);
         m.write(base, bytes, TrafficClass::Modified);
+        m.trace_phase(Phase::DbWrite, t0);
         Ok(())
     }
 
-    fn read(&mut self, m: &mut Machine, base: Addr, buf: &mut [u8]) {
+    fn read(&mut self, m: &mut Machine<T>, base: Addr, buf: &mut [u8]) {
         m.read(base, buf);
     }
 
-    fn commit(&mut self, m: &mut Machine) -> Result<(), TxError> {
+    fn commit(&mut self, m: &mut Machine<T>) -> Result<(), TxError> {
         self.ranges.require_active()?;
+        let t0 = m.now();
         m.charge(m.costs().txn_commit);
         let seq = m.read_u64(self.seq_addr());
         m.barrier(); // everything the transaction wrote precedes the flag
@@ -272,11 +286,14 @@ impl Engine for VistaEngine {
             node = next;
         }
         self.ranges.end();
+        m.trace_phase(Phase::Commit, t0);
+        m.trace_tx_end();
         Ok(())
     }
 
-    fn abort(&mut self, m: &mut Machine) -> Result<(), TxError> {
+    fn abort(&mut self, m: &mut Machine<T>) -> Result<(), TxError> {
         self.ranges.require_active()?;
+        let t0 = m.now();
         m.charge(m.costs().txn_abort);
         // Walk the list, restoring newest-first so that the oldest copy of
         // overlapping ranges wins, then free everything.
@@ -300,12 +317,15 @@ impl Engine for VistaEngine {
             node = next;
         }
         self.ranges.end();
+        m.trace_phase(Phase::Abort, t0);
+        m.trace_tx_end();
         Ok(())
     }
 
-    fn recover(&mut self, m: &mut Machine) -> RecoveryReport {
+    fn recover(&mut self, m: &mut Machine<T>) -> RecoveryReport {
         // Recovery is the failure path: it runs against the raw arena,
         // unaccounted.
+        let t0 = m.now();
         let mut arena = m.arena().borrow_mut();
         let (restored, undone) = Self::restore_walk(
             &mut arena,
@@ -324,6 +344,7 @@ impl Engine for VistaEngine {
         let committed_seq = arena.read_u64(self.seq_addr());
         drop(arena);
         self.ranges = TxRanges::default();
+        m.trace_phase(Phase::Recovery, t0);
         RecoveryReport {
             rolled_back: undone != 0,
             rolled_forward: false,
@@ -332,7 +353,7 @@ impl Engine for VistaEngine {
         }
     }
 
-    fn committed_seq(&self, m: &mut Machine) -> u64 {
+    fn committed_seq(&self, m: &mut Machine<T>) -> u64 {
         m.arena()
             .borrow()
             .read_u64(Layout::root_addr(RootSlot::TxnSeq))

@@ -27,6 +27,7 @@
 //! store stream: on the SAN it coalesces into full 32-byte packets, which
 //! is the entire performance story of the paper's §5.
 
+use dsnrep_obs::{Phase, Tracer};
 use dsnrep_rio::{Layout, LayoutBuilder, LayoutError, RegionId, RootSlot};
 use dsnrep_simcore::{Addr, Region, TrafficClass, VirtualDuration};
 
@@ -110,7 +111,7 @@ impl ImprovedLogEngine {
 
     /// Formats the machine's arena for this engine (setup path,
     /// unaccounted).
-    pub fn format(m: &mut Machine, config: &EngineConfig) -> Self {
+    pub fn format<T: Tracer>(m: &mut Machine<T>, config: &EngineConfig) -> Self {
         let layout = Self::layout(config);
         layout.format(&mut m.arena().borrow_mut());
         Self::from_layout(&layout)
@@ -123,7 +124,7 @@ impl ImprovedLogEngine {
     ///
     /// Returns [`LayoutError`] if the arena was not formatted by
     /// [`ImprovedLogEngine::format`].
-    pub fn attach(m: &mut Machine) -> Result<Self, LayoutError> {
+    pub fn attach<T: Tracer>(m: &mut Machine<T>) -> Result<Self, LayoutError> {
         let layout = Layout::read(&m.arena().borrow())?;
         Ok(Self::from_layout(&layout))
     }
@@ -137,6 +138,11 @@ impl ImprovedLogEngine {
             ranges: TxRanges::default(),
             rec_offsets: Vec::new(),
         }
+    }
+
+    /// The database region transactions operate on.
+    pub fn db_region(&self) -> Region {
+        self.db
     }
 
     /// The regions a passive backup maps write-through: header, undo log
@@ -153,7 +159,7 @@ impl ImprovedLogEngine {
     /// the low sequence byte must match and indices must count up from
     /// zero (wrapping at 256). Returns `(db_addr, len, data_addr)` triples
     /// in log order.
-    fn scan_records(&self, m: &Machine, committed: u64) -> Vec<(Addr, u64, Addr)> {
+    fn scan_records<T: Tracer>(&self, m: &Machine<T>, committed: u64) -> Vec<(Addr, u64, Addr)> {
         let arena = m.arena().borrow();
         let expect_seq = (committed + 1) as u8;
         let mut out = Vec::new();
@@ -191,7 +197,7 @@ impl ImprovedLogEngine {
     }
 }
 
-impl Engine for ImprovedLogEngine {
+impl<T: Tracer> Engine<T> for ImprovedLogEngine {
     fn version(&self) -> VersionTag {
         VersionTag::ImprovedLog
     }
@@ -204,16 +210,20 @@ impl Engine for ImprovedLogEngine {
         Self::replicated_regions(self)
     }
 
-    fn begin(&mut self, m: &mut Machine) -> Result<(), TxError> {
+    fn begin(&mut self, m: &mut Machine<T>) -> Result<(), TxError> {
         self.ranges.begin()?;
+        m.trace_tx_begin();
+        let t0 = m.now();
         m.charge(m.costs().txn_begin);
         self.rec_offsets.clear();
         self.tail = 0;
+        m.trace_phase(Phase::Begin, t0);
         Ok(())
     }
 
-    fn set_range(&mut self, m: &mut Machine, base: Addr, len: u64) -> Result<(), TxError> {
+    fn set_range(&mut self, m: &mut Machine<T>, base: Addr, len: u64) -> Result<(), TxError> {
         self.ranges.add(self.db, base, len)?;
+        let t0 = m.now();
         m.charge(m.costs().set_range);
         // Ranges longer than a header's 16-bit length field are split into
         // multiple records.
@@ -249,22 +259,26 @@ impl Engine for ImprovedLogEngine {
             chunk_base = chunk_base + chunk;
             remaining -= chunk;
         }
+        m.trace_phase(Phase::UndoWrite, t0);
         Ok(())
     }
 
-    fn write(&mut self, m: &mut Machine, base: Addr, bytes: &[u8]) -> Result<(), TxError> {
+    fn write(&mut self, m: &mut Machine<T>, base: Addr, bytes: &[u8]) -> Result<(), TxError> {
         self.ranges.check_covered(base, bytes.len() as u64)?;
+        let t0 = m.now();
         m.charge(m.costs().write_call);
         m.write(base, bytes, TrafficClass::Modified);
+        m.trace_phase(Phase::DbWrite, t0);
         Ok(())
     }
 
-    fn read(&mut self, m: &mut Machine, base: Addr, buf: &mut [u8]) {
+    fn read(&mut self, m: &mut Machine<T>, base: Addr, buf: &mut [u8]) {
         m.read(base, buf);
     }
 
-    fn commit(&mut self, m: &mut Machine) -> Result<(), TxError> {
+    fn commit(&mut self, m: &mut Machine<T>) -> Result<(), TxError> {
         self.ranges.require_active()?;
+        let t0 = m.now();
         m.charge(m.costs().txn_commit);
         let seq = unpack_seq(m.read_u64(self.state_addr()));
         m.barrier(); // transaction writes precede the commit word
@@ -279,11 +293,14 @@ impl Engine for ImprovedLogEngine {
         self.tail = 0;
         self.rec_offsets.clear();
         self.ranges.end();
+        m.trace_phase(Phase::Commit, t0);
+        m.trace_tx_end();
         Ok(())
     }
 
-    fn abort(&mut self, m: &mut Machine) -> Result<(), TxError> {
+    fn abort(&mut self, m: &mut Machine<T>) -> Result<(), TxError> {
         self.ranges.require_active()?;
+        let t0 = m.now();
         m.charge(m.costs().txn_abort);
         // Restore newest-first.
         let recs: Vec<(u64, u64, u64)> = {
@@ -311,10 +328,13 @@ impl Engine for ImprovedLogEngine {
         self.tail = 0;
         self.rec_offsets.clear();
         self.ranges.end();
+        m.trace_phase(Phase::Abort, t0);
+        m.trace_tx_end();
         Ok(())
     }
 
-    fn recover(&mut self, m: &mut Machine) -> RecoveryReport {
+    fn recover(&mut self, m: &mut Machine<T>) -> RecoveryReport {
+        let t0 = m.now();
         let committed = unpack_seq(m.arena().borrow().read_u64(self.state_addr()));
         let records = self.scan_records(m, committed);
         let mut report = RecoveryReport::default();
@@ -335,10 +355,11 @@ impl Engine for ImprovedLogEngine {
         self.tail = 0;
         self.rec_offsets.clear();
         self.ranges = TxRanges::default();
+        m.trace_phase(Phase::Recovery, t0);
         report
     }
 
-    fn committed_seq(&self, m: &mut Machine) -> u64 {
+    fn committed_seq(&self, m: &mut Machine<T>) -> u64 {
         unpack_seq(m.arena().borrow().read_u64(self.state_addr()))
     }
 }

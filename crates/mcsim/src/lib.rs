@@ -61,7 +61,7 @@ pub use link::{Link, PacketTiming};
 pub use port::TxPort;
 pub use stride::{figure1_sweep, measure_stride_bandwidth, measure_write_latency, BandwidthPoint};
 pub use traffic::Traffic;
-pub use wbuf::{DirtyRuns, FlushedBuffer, WriteBufferSet, BLOCK};
+pub use wbuf::{DirtyRuns, FlushedBuffer, WbufStats, WriteBufferSet, BLOCK};
 
 use dsnrep_simcore::VirtualDuration;
 

@@ -49,6 +49,7 @@ pub struct Link {
     latency: VirtualDuration,
     busy_until: VirtualInstant,
     traffic: Traffic,
+    queue_wait: VirtualDuration,
 }
 
 impl Link {
@@ -60,6 +61,7 @@ impl Link {
             latency: costs.link_latency,
             busy_until: VirtualInstant::EPOCH,
             traffic: Traffic::new(),
+            queue_wait: VirtualDuration::ZERO,
         }
     }
 
@@ -88,6 +90,7 @@ impl Link {
     pub fn send_mixed(&mut self, ready: VirtualInstant, class_bytes: [u64; 3]) -> PacketTiming {
         let payload: u64 = class_bytes.iter().sum();
         let start = ready.max(self.busy_until);
+        self.queue_wait += start.duration_since(ready);
         let service = self.overhead + VirtualDuration::from_picos(self.per_byte_picos * payload);
         let done = start + service;
         self.busy_until = done;
@@ -102,6 +105,15 @@ impl Link {
     /// The instant the link becomes idle.
     pub fn busy_until(&self) -> VirtualInstant {
         self.busy_until
+    }
+
+    /// Cumulative link-arbitration wait: the sum over all packets of the
+    /// time between submission (`ready`) and the FIFO starting service
+    /// (`start`). Posted writes do not stall the sending processor on this
+    /// wait — it is queueing delay inside the interconnect — so it is
+    /// reported separately from the clock's stall breakdown.
+    pub fn queue_wait(&self) -> VirtualDuration {
+        self.queue_wait
     }
 
     /// Cumulative traffic statistics.
@@ -172,6 +184,17 @@ mod tests {
         let secs = last.duration_since(VirtualInstant::EPOCH).as_secs_f64();
         let mb_per_s = (n * 32) as f64 / (1024.0 * 1024.0) / secs;
         assert!((74.0..82.0).contains(&mb_per_s), "{mb_per_s} MB/s");
+    }
+
+    #[test]
+    fn queue_wait_accumulates_fifo_delay() {
+        let mut l = link();
+        let a = l.send(VirtualInstant::EPOCH, 32, TrafficClass::Modified);
+        assert!(l.queue_wait().is_zero(), "idle link serves immediately");
+        let b = l.send(VirtualInstant::EPOCH, 4, TrafficClass::Meta);
+        // The second packet waited for the first to finish serializing.
+        assert_eq!(l.queue_wait(), a.done.duration_since(VirtualInstant::EPOCH));
+        assert_eq!(b.start, a.done);
     }
 
     #[test]

@@ -16,9 +16,10 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::rc::Rc;
 
+use dsnrep_obs::{NullTracer, Tracer};
 use dsnrep_rio::Arena;
 use dsnrep_simcore::{
-    Addr, Clock, CostModel, StoreSink, TrafficClass, VirtualDuration, VirtualInstant,
+    Addr, Clock, CostModel, StallCause, StoreSink, TrafficClass, VirtualDuration, VirtualInstant,
 };
 
 use crate::link::Link;
@@ -36,7 +37,7 @@ struct Delivery {
 /// flow control, and the in-flight delivery queue. Split from the write
 /// buffers so flush callbacks can borrow it as one unit while
 /// [`WriteBufferSet`] is borrowed alongside.
-struct Emitter {
+struct Emitter<T: Tracer> {
     link: Rc<RefCell<Link>>,
     window_cap: u64,
     window_packets: usize,
@@ -44,9 +45,15 @@ struct Emitter {
     outstanding_bytes: u64,
     inflight: VecDeque<Delivery>,
     last_delivered: VirtualInstant,
+    tracer: T,
+    track: u32,
+    /// How a flow-control stall during the *current* operation should be
+    /// attributed: [`StallCause::PostedWindow`] on the store path,
+    /// [`StallCause::WbufFlush`] while a barrier drains partial buffers.
+    stall_cause: StallCause,
 }
 
-impl Emitter {
+impl<T: Tracer> Emitter<T> {
     fn emit(&mut self, clock: &mut Clock, flushed: FlushedBuffer) {
         let payload = flushed.payload();
         if payload == 0 {
@@ -70,13 +77,15 @@ impl Emitter {
                 .outstanding
                 .pop_front()
                 .expect("window exceeded with no outstanding packets");
-            clock.advance_to(done);
+            clock.advance_to_for(self.stall_cause, done);
             self.outstanding_bytes -= bytes;
         }
         let timing = self
             .link
             .borrow_mut()
             .send_mixed(clock.now(), flushed.class_bytes);
+        self.tracer
+            .packet(self.track, timing.start, flushed.class_bytes);
         self.outstanding.push_back((timing.done, payload));
         self.outstanding_bytes += payload;
         self.inflight.push_back(Delivery {
@@ -110,14 +119,14 @@ impl Emitter {
 /// port.quiesce(&mut clock);
 /// assert_eq!(backup.borrow().read_vec(Addr::new(64), 9), b"replicate");
 /// ```
-pub struct TxPort {
+pub struct TxPort<T: Tracer = NullTracer> {
     peers: Vec<Rc<RefCell<Arena>>>,
     bufs: WriteBufferSet,
     io_store_issue: VirtualDuration,
-    tx: Emitter,
+    tx: Emitter<T>,
 }
 
-impl fmt::Debug for TxPort {
+impl<T: Tracer> fmt::Debug for TxPort<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("TxPort")
             .field("peers", &self.peers.len())
@@ -132,13 +141,27 @@ impl fmt::Debug for TxPort {
 impl TxPort {
     /// Creates a port that applies delivered bytes to `peer`.
     pub fn new(costs: &CostModel, link: Rc<RefCell<Link>>, peer: Rc<RefCell<Arena>>) -> Self {
-        Self::build(costs, link, vec![peer])
+        Self::build(costs, link, vec![peer], NullTracer, 0)
     }
 
     /// Creates a port with no peer arena: packets are timed and accounted
     /// but their payloads vanish. Used by the bandwidth micro-benchmarks.
     pub fn sink_only(costs: &CostModel, link: Rc<RefCell<Link>>) -> Self {
-        Self::build(costs, link, Vec::new())
+        Self::build(costs, link, Vec::new(), NullTracer, 0)
+    }
+}
+
+impl<T: Tracer> TxPort<T> {
+    /// Creates a traced port that applies delivered bytes to `peer`,
+    /// reporting packets and stall attribution as `track` to `tracer`.
+    pub fn new_traced(
+        costs: &CostModel,
+        link: Rc<RefCell<Link>>,
+        peer: Rc<RefCell<Arena>>,
+        tracer: T,
+        track: u32,
+    ) -> Self {
+        Self::build(costs, link, vec![peer], tracer, track)
     }
 
     /// Adds another receiver: the Memory Channel hub multicasts natively,
@@ -152,7 +175,18 @@ impl TxPort {
         self.peers.len()
     }
 
-    fn build(costs: &CostModel, link: Rc<RefCell<Link>>, peers: Vec<Rc<RefCell<Arena>>>) -> Self {
+    /// Cumulative write-buffer coalescing counters.
+    pub fn wbuf_stats(&self) -> crate::wbuf::WbufStats {
+        self.bufs.stats()
+    }
+
+    fn build(
+        costs: &CostModel,
+        link: Rc<RefCell<Link>>,
+        peers: Vec<Rc<RefCell<Arena>>>,
+        tracer: T,
+        track: u32,
+    ) -> Self {
         assert!(
             costs.max_packet == BLOCK,
             "the write-buffer model is fixed at {BLOCK}-byte blocks"
@@ -169,6 +203,9 @@ impl TxPort {
                 outstanding_bytes: 0,
                 inflight: VecDeque::new(),
                 last_delivered: VirtualInstant::EPOCH,
+                tracer,
+                track,
+                stall_cause: StallCause::PostedWindow,
             },
         }
     }
@@ -216,6 +253,7 @@ impl TxPort {
         // entered exactly once; flushing on block entry is equivalent to
         // the word-at-a-time flush (this path never refills the buffers).
         let TxPort { bufs, tx, .. } = self;
+        tx.stall_cause = StallCause::PostedWindow;
         let mut off = 0usize;
         let mut entered_block = u64::MAX;
         while off < bytes.len() {
@@ -296,7 +334,7 @@ impl TxPort {
     }
 }
 
-impl StoreSink for TxPort {
+impl<T: Tracer> StoreSink for TxPort<T> {
     fn store(&mut self, clock: &mut Clock, addr: Addr, bytes: &[u8], class: TrafficClass) {
         if bytes.is_empty() {
             return;
@@ -306,12 +344,14 @@ impl StoreSink for TxPort {
             bytes.len() as u64,
         ));
         let TxPort { bufs, tx, .. } = self;
+        tx.stall_cause = StallCause::PostedWindow;
         bufs.store(addr, bytes, class, &mut |flushed| tx.emit(clock, flushed));
         self.deliver_up_to(clock.now());
     }
 
     fn barrier(&mut self, clock: &mut Clock) {
         let TxPort { bufs, tx, .. } = self;
+        tx.stall_cause = StallCause::WbufFlush;
         bufs.flush_all(&mut |flushed| tx.emit(clock, flushed));
         self.deliver_up_to(clock.now());
     }
@@ -460,6 +500,39 @@ mod tests {
         assert_eq!(link.borrow().traffic().total_packets(), 2);
         let busy = link.borrow().busy_until();
         assert!(busy.as_picos() >= 2 * costs.packet_time(32).as_picos());
+    }
+
+    #[test]
+    fn traced_port_mirrors_link_counters_and_attributes_stalls() {
+        let costs = CostModel::alpha_21164a();
+        let link = Rc::new(RefCell::new(Link::new(&costs)));
+        let peer = Rc::new(RefCell::new(Arena::new(1 << 20)));
+        let rec = dsnrep_obs::FlightRecorder::new();
+        let mut port = TxPort::new_traced(&costs, Rc::clone(&link), peer, rec.clone(), 0);
+        let mut clock = Clock::new();
+        // Scattered small stores saturate the posted-write window.
+        for i in 0..10_000u64 {
+            port.store(&mut clock, Addr::new(i * 64), &[1], TrafficClass::Meta);
+        }
+        // Leave one buffer partial so the barrier has something to drain.
+        port.store(&mut clock, Addr::new(640_064), &[2; 4], TrafficClass::Undo);
+        port.barrier(&mut clock);
+        let t = link.borrow();
+        assert_eq!(rec.packets(0), t.traffic().total_packets());
+        assert_eq!(
+            rec.class_bytes(0, TrafficClass::Meta),
+            t.traffic().bytes(TrafficClass::Meta)
+        );
+        assert_eq!(
+            rec.class_bytes(0, TrafficClass::Undo),
+            t.traffic().bytes(TrafficClass::Undo)
+        );
+        assert!(clock.stalled_by(StallCause::PostedWindow) > VirtualDuration::ZERO);
+        // Every stall this port caused is attributed to one of its two
+        // causes; nothing leaks into Other.
+        let attributed =
+            clock.stalled_by(StallCause::PostedWindow) + clock.stalled_by(StallCause::WbufFlush);
+        assert_eq!(attributed, clock.stalled());
     }
 
     #[test]

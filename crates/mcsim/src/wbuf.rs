@@ -127,6 +127,35 @@ pub struct WriteBufferSet {
     /// re-check the block tag. Because at most one slot ever holds a given
     /// block, a verified hit is exactly what the linear scan would find.
     mru: usize,
+    stats: WbufStats,
+}
+
+/// Observation-only counters for a [`WriteBufferSet`]: how well stores
+/// coalesce. This is the mechanism behind the paper's aggregation argument
+/// (sequential log writes merge into full packets; scattered in-place
+/// writes do not), so the counters make "how much merging happened" a
+/// measured quantity rather than an inference from packet sizes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WbufStats {
+    /// Per-block store operations applied to the set.
+    pub stores: u64,
+    /// Stores that coalesced into a buffer already holding their block.
+    pub merges: u64,
+    /// Stores that claimed a buffer (free or evicted) for a new block.
+    pub placements: u64,
+    /// Placements that had to evict the least-recently-used dirty buffer.
+    pub evictions: u64,
+    /// Newly dirtied bytes added by merges, per
+    /// [`TrafficClass`] index — the bytes that rode an existing packet
+    /// instead of costing one of their own.
+    pub merged_bytes_by_class: [u64; 3],
+}
+
+impl WbufStats {
+    /// Total newly dirtied bytes added by merges, across classes.
+    pub fn merged_bytes(&self) -> u64 {
+        self.merged_bytes_by_class.iter().sum()
+    }
 }
 
 impl WriteBufferSet {
@@ -141,12 +170,18 @@ impl WriteBufferSet {
             slots: vec![None; count],
             next_stamp: 0,
             mru: 0,
+            stats: WbufStats::default(),
         }
     }
 
     /// Number of buffers currently holding dirty bytes.
     pub fn dirty_buffers(&self) -> usize {
         self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Cumulative coalescing counters (never reset by flushes or crashes).
+    pub fn stats(&self) -> WbufStats {
+        self.stats
     }
 
     /// Applies a store, merging into an existing buffer when the block
@@ -181,6 +216,7 @@ impl WriteBufferSet {
     ) {
         self.next_stamp += 1;
         let stamp = self.next_stamp;
+        self.stats.stores += 1;
 
         // Find a matching buffer. MRU fast path first: sequential log
         // appends hit the same block as the previous store, so most
@@ -199,7 +235,10 @@ impl WriteBufferSet {
             let slot = self.slots[idx].as_mut().expect("matched slot is dirty");
             slot.stamp = stamp;
             let add = span_mask(in_block, bytes.len());
-            slot.class_bytes[class.index()] += u64::from((add & !slot.mask).count_ones());
+            let fresh = u64::from((add & !slot.mask).count_ones());
+            self.stats.merges += 1;
+            self.stats.merged_bytes_by_class[class.index()] += fresh;
+            slot.class_bytes[class.index()] += fresh;
             slot.mask |= add;
             slot.data[in_block..in_block + bytes.len()].copy_from_slice(bytes);
             if slot.mask == u32::MAX {
@@ -221,10 +260,12 @@ impl WriteBufferSet {
         stamp: u64,
         flush: &mut impl FnMut(FlushedBuffer),
     ) {
+        self.stats.placements += 1;
         let idx = match self.slots.iter().position(Option::is_none) {
             Some(i) => i,
             None => {
                 // Evict the least recently used buffer.
+                self.stats.evictions += 1;
                 let (i, _) = self
                     .slots
                     .iter()
@@ -713,6 +754,47 @@ mod tests {
                 prop_assert_eq!(&got, &want, "final barrier state diverged");
             }
         }
+    }
+
+    #[test]
+    fn stats_count_merges_placements_and_evictions() {
+        let mut bufs = WriteBufferSet::new(1);
+        let mut out = Vec::new();
+        // Placement (free slot).
+        bufs.store(
+            Addr::new(0),
+            &[1; 4],
+            TrafficClass::Modified,
+            &mut collect(&mut out),
+        );
+        // Merge: 4 fresh undo bytes into the same block.
+        bufs.store(
+            Addr::new(4),
+            &[2; 4],
+            TrafficClass::Undo,
+            &mut collect(&mut out),
+        );
+        // Re-dirty the same bytes: a merge that adds 0 fresh bytes.
+        bufs.store(
+            Addr::new(4),
+            &[3; 4],
+            TrafficClass::Undo,
+            &mut collect(&mut out),
+        );
+        // New block with the single slot full: placement + eviction.
+        bufs.store(
+            Addr::new(64),
+            &[4; 4],
+            TrafficClass::Meta,
+            &mut collect(&mut out),
+        );
+        let s = bufs.stats();
+        assert_eq!(s.stores, 4);
+        assert_eq!(s.merges, 2);
+        assert_eq!(s.placements, 2);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.merged_bytes_by_class[TrafficClass::Undo.index()], 4);
+        assert_eq!(s.merged_bytes(), 4);
     }
 
     #[test]

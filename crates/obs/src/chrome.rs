@@ -1,0 +1,186 @@
+//! Chrome `trace_event` and JSONL export.
+//!
+//! The Chrome format is the JSON Array / JSON Object flavour documented in
+//! the Trace Event Format spec and understood by Perfetto's legacy importer
+//! (`ui.perfetto.dev` → "Open trace file"). We emit:
+//!
+//! * one `M` (metadata) event per track naming its "thread",
+//! * one `X` (complete) event per recorded span, `ts`/`dur` in microseconds
+//!   of **virtual** time,
+//! * one `i` (instant) event per point record, global scope.
+//!
+//! All JSON is hand-rolled: the workspace is offline and the values are
+//! simple enough that a serializer would be pure dependency weight.
+
+use std::fmt::Write as _;
+
+use crate::json_escape;
+use crate::recorder::FlightRecorder;
+
+/// Virtual picoseconds to Chrome's microsecond `ts` unit, with sub-µs
+/// precision kept as a fraction (Perfetto accepts fractional ts).
+fn picos_to_us(picos: u64) -> String {
+    let whole = picos / 1_000_000;
+    let frac = picos % 1_000_000;
+    if frac == 0 {
+        format!("{whole}")
+    } else {
+        // Up to six fractional digits (picosecond precision), trimmed.
+        let s = format!("{whole}.{frac:06}");
+        s.trim_end_matches('0').to_string()
+    }
+}
+
+impl FlightRecorder {
+    /// Renders the ring as a Chrome `trace_event` JSON object, loadable in
+    /// Perfetto. Timestamps are **virtual** microseconds since the epoch.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        let mut first = true;
+        for track in self.known_tracks() {
+            let name = json_escape(&self.track_name(track));
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{track},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{name}\"}}}}"
+            );
+        }
+        self.with_inner_records(|spans, instants| {
+            for s in spans {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let ts = picos_to_us(s.start.as_picos());
+                let dur = picos_to_us(s.end.duration_since(s.start).as_picos());
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"cat\":\"phase\",\
+                     \"name\":\"{}\",\"ts\":{ts},\"dur\":{dur}}}",
+                    s.track,
+                    s.phase.name()
+                );
+            }
+            for i in instants {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let ts = picos_to_us(i.at.as_picos());
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"i\",\"pid\":0,\"tid\":{},\"cat\":\"event\",\
+                     \"name\":\"{}\",\"ts\":{ts},\"s\":\"g\",\
+                     \"args\":{{\"arg\":{}}}}}",
+                    i.track,
+                    i.kind.name(),
+                    i.arg
+                );
+            }
+        });
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders the ring as JSONL: one JSON object per line, spans first
+    /// (oldest first), then point events. Times are virtual picoseconds.
+    pub fn events_jsonl(&self) -> String {
+        let mut out = String::new();
+        self.with_inner_records(|spans, instants| {
+            for s in spans {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"span\",\"track\":{},\"phase\":\"{}\",\
+                     \"start_ps\":{},\"end_ps\":{}}}",
+                    s.track,
+                    s.phase.name(),
+                    s.start.as_picos(),
+                    s.end.as_picos()
+                );
+            }
+            for i in instants {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"event\",\"track\":{},\"kind\":\"{}\",\
+                     \"at_ps\":{},\"arg\":{}}}",
+                    i.track,
+                    i.kind.name(),
+                    i.at.as_picos(),
+                    i.arg
+                );
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::{Phase, TraceEventKind, Tracer};
+    use dsnrep_simcore::VirtualInstant;
+
+    fn at(p: u64) -> VirtualInstant {
+        VirtualInstant::from_picos(p)
+    }
+
+    #[test]
+    fn picos_render_as_fractional_microseconds() {
+        assert_eq!(picos_to_us(0), "0");
+        assert_eq!(picos_to_us(2_000_000), "2");
+        assert_eq!(picos_to_us(1_500_000), "1.5");
+        assert_eq!(picos_to_us(1), "0.000001");
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed_and_contains_events() {
+        let rec = FlightRecorder::new();
+        rec.set_track_name(0, "primary");
+        rec.span(0, Phase::Txn, at(1_000_000), at(3_000_000));
+        rec.instant(0, TraceEventKind::PrimaryCrash, at(2_000_000), 7);
+        let json = rec.chrome_trace_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"name\":\"primary\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"txn\",\"ts\":1,\"dur\":2"));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"name\":\"primary_crash\""));
+        // Balanced braces and brackets (cheap well-formedness check).
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn jsonl_has_one_object_per_line() {
+        let rec = FlightRecorder::new();
+        rec.span(0, Phase::Commit, at(0), at(10));
+        rec.instant(1, TraceEventKind::FailoverComplete, at(20), 3);
+        let jsonl = rec.events_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"type\":\"span\""));
+        assert!(lines[0].contains("\"phase\":\"commit\""));
+        assert!(lines[1].contains("\"type\":\"event\""));
+        assert!(lines[1].contains("\"kind\":\"failover_complete\""));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn empty_recorder_still_emits_valid_skeleton() {
+        let rec = FlightRecorder::new();
+        let json = rec.chrome_trace_json();
+        assert_eq!(json, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}");
+        assert_eq!(rec.events_jsonl(), "");
+    }
+}

@@ -1,0 +1,76 @@
+//! Virtual-time observability for the replication pipeline.
+//!
+//! The paper argues through *breakdowns*: Tables 2/5/7 split write-through
+//! traffic into modified/undo/meta bytes, and Section 5 explains throughput
+//! differences by where a stream's time goes — link arbitration, posted-write
+//! flow control, write-buffer flushes. This crate is the layer that lets the
+//! simulator answer the same questions on any run, without re-running
+//! ablations blind:
+//!
+//! * [`Tracer`] — the probe interface threaded (as a type parameter) through
+//!   `Machine`, the engines, the ports and the clusters. Its default impl is
+//!   a no-op on every method, so the [`NullTracer`] monomorphizes away and a
+//!   production run pays nothing.
+//! * [`FlightRecorder`] — a cheap-to-clone handle over a bounded in-memory
+//!   ring of virtual-time [`SpanRecord`]s and [`InstantRecord`]s, plus
+//!   per-track per-[`TrafficClass`](dsnrep_simcore::TrafficClass) packet
+//!   counters and a log2 commit-latency histogram.
+//! * [`chrome_trace_json`](FlightRecorder::chrome_trace_json) /
+//!   [`events_jsonl`](FlightRecorder::events_jsonl) /
+//!   [`summary`](FlightRecorder::summary) — three export shapes: a Chrome
+//!   `trace_event` file Perfetto loads directly, a line-per-event JSONL
+//!   stream, and aggregate summary stats (see `OBSERVABILITY.md` at the
+//!   repository root).
+//!
+//! # Examples
+//!
+//! ```
+//! use dsnrep_obs::{FlightRecorder, Phase, Tracer};
+//! use dsnrep_simcore::VirtualInstant;
+//!
+//! let rec = FlightRecorder::new();
+//! rec.span(
+//!     dsnrep_obs::TRACK_PRIMARY,
+//!     Phase::Commit,
+//!     VirtualInstant::from_picos(1_000),
+//!     VirtualInstant::from_picos(5_000),
+//! );
+//! assert_eq!(rec.span_count(), 1);
+//! assert!(rec.chrome_trace_json().contains("\"commit\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod chrome;
+mod recorder;
+mod summary;
+mod tracer;
+
+pub use recorder::{FlightRecorder, InstantRecord, PacketRecord, SpanRecord};
+pub use summary::{TraceSummary, TrackSummary};
+pub use tracer::{NullTracer, Phase, TraceEventKind, Tracer};
+
+/// Conventional track id for a cluster's primary node.
+pub const TRACK_PRIMARY: u32 = 0;
+
+/// Conventional track id for a cluster's (first) backup node.
+pub const TRACK_BACKUP: u32 = 1;
+
+/// Escapes a string for inclusion inside a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,428 @@
+//! The flight recorder: a bounded ring of virtual-time records.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+use dsnrep_simcore::{TrafficClass, VirtualInstant};
+
+use crate::summary::{TraceSummary, TrackSummary};
+use crate::tracer::{Phase, TraceEventKind, Tracer};
+
+/// A completed phase span on one track.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Which simulated node the span belongs to.
+    pub track: u32,
+    /// The pipeline phase.
+    pub phase: Phase,
+    /// Span start (virtual time).
+    pub start: VirtualInstant,
+    /// Span end (virtual time), `>= start`.
+    pub end: VirtualInstant,
+}
+
+/// A point event on one track.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InstantRecord {
+    /// Which simulated node the event belongs to.
+    pub track: u32,
+    /// What happened.
+    pub kind: TraceEventKind,
+    /// When it happened (virtual time).
+    pub at: VirtualInstant,
+    /// One event-specific argument (see [`TraceEventKind`]).
+    pub arg: u64,
+}
+
+/// One SAN packet, with its payload split per traffic class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PacketRecord {
+    /// The sending node.
+    pub track: u32,
+    /// Link-send instant (virtual time).
+    pub at: VirtualInstant,
+    /// Payload bytes per [`TrafficClass`] index.
+    pub class_bytes: [u64; 3],
+}
+
+/// Per-track packet/byte accumulators (the traffic-class matrix row).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct TrackTraffic {
+    packets: u64,
+    bytes_by_class: [u64; 3],
+}
+
+/// Commit-latency histogram bucket count: `floor(log2(picos))` of a `Txn`
+/// span duration indexes the bucket, so 64 covers the whole `u64` range.
+const LATENCY_BUCKETS: usize = 64;
+
+struct Inner {
+    capacity: usize,
+    spans: VecDeque<SpanRecord>,
+    dropped_spans: u64,
+    instants: VecDeque<InstantRecord>,
+    dropped_instants: u64,
+    tracks: Vec<TrackTraffic>,
+    track_names: Vec<Option<String>>,
+    txns: u64,
+    commit_latency_log2: [u64; LATENCY_BUCKETS],
+}
+
+impl Inner {
+    fn track_mut(&mut self, track: u32) -> &mut TrackTraffic {
+        let idx = track as usize;
+        if idx >= self.tracks.len() {
+            self.tracks.resize(idx + 1, TrackTraffic::default());
+        }
+        &mut self.tracks[idx]
+    }
+}
+
+/// An in-memory flight recorder implementing [`Tracer`].
+///
+/// The recorder is a cheap-to-clone handle: every clone shares the same
+/// bounded ring, so the same recorder can be threaded into a primary, its
+/// backup, and their ports. When the span ring fills, the **oldest** record
+/// is dropped (and counted), which is exactly what a flight recorder should
+/// do: after a failure you want the most recent history.
+///
+/// Not `Send` on purpose — the simulation is single-threaded per stream, and
+/// the parallel experiment harness runs untraced ([`crate::NullTracer`]).
+///
+/// # Examples
+///
+/// ```
+/// use dsnrep_obs::{FlightRecorder, Phase, Tracer, TRACK_PRIMARY};
+/// use dsnrep_simcore::VirtualInstant;
+///
+/// let rec = FlightRecorder::with_capacity(2);
+/// for i in 0..3 {
+///     let t0 = VirtualInstant::from_picos(i * 10);
+///     rec.span(TRACK_PRIMARY, Phase::DbWrite, t0, t0 + dsnrep_simcore::VirtualDuration::from_picos(5));
+/// }
+/// assert_eq!(rec.span_count(), 2); // oldest dropped
+/// assert_eq!(rec.dropped_spans(), 1);
+/// ```
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &inner.capacity)
+            .field("spans", &inner.spans.len())
+            .field("dropped_spans", &inner.dropped_spans)
+            .field("instants", &inner.instants.len())
+            .field("txns", &inner.txns)
+            .finish()
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new()
+    }
+}
+
+impl FlightRecorder {
+    /// Default span-ring capacity (records, not bytes).
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// Creates a recorder with the default ring capacity.
+    pub fn new() -> Self {
+        FlightRecorder::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates a recorder whose span ring holds at most `capacity` records
+    /// (instants share the same bound; counters are unbounded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder capacity must be non-zero");
+        FlightRecorder {
+            inner: Rc::new(RefCell::new(Inner {
+                capacity,
+                spans: VecDeque::with_capacity(capacity.min(4096)),
+                dropped_spans: 0,
+                instants: VecDeque::new(),
+                dropped_instants: 0,
+                tracks: Vec::new(),
+                track_names: Vec::new(),
+                txns: 0,
+                commit_latency_log2: [0; LATENCY_BUCKETS],
+            })),
+        }
+    }
+
+    /// Names a track for trace output (e.g. `"primary"`, `"backup"`).
+    /// Unnamed tracks render as `track N`.
+    pub fn set_track_name(&self, track: u32, name: &str) {
+        let mut inner = self.inner.borrow_mut();
+        let idx = track as usize;
+        if idx >= inner.track_names.len() {
+            inner.track_names.resize(idx + 1, None);
+        }
+        inner.track_names[idx] = Some(name.to_string());
+    }
+
+    /// The display name of a track (`"track N"` if unnamed).
+    pub fn track_name(&self, track: u32) -> String {
+        let inner = self.inner.borrow();
+        inner
+            .track_names
+            .get(track as usize)
+            .and_then(|n| n.clone())
+            .unwrap_or_else(|| format!("track {track}"))
+    }
+
+    /// Number of spans currently held in the ring.
+    pub fn span_count(&self) -> usize {
+        self.inner.borrow().spans.len()
+    }
+
+    /// Number of spans dropped because the ring was full.
+    pub fn dropped_spans(&self) -> u64 {
+        self.inner.borrow().dropped_spans
+    }
+
+    /// Total transactions whose `Txn` span was recorded (counted even if the
+    /// span itself has since been dropped from the ring).
+    pub fn txns(&self) -> u64 {
+        self.inner.borrow().txns
+    }
+
+    /// A copy of the spans currently in the ring, oldest first.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.inner.borrow().spans.iter().copied().collect()
+    }
+
+    /// A copy of the point events currently in the ring, oldest first.
+    pub fn instants(&self) -> Vec<InstantRecord> {
+        self.inner.borrow().instants.iter().copied().collect()
+    }
+
+    /// Point events of one kind, oldest first.
+    pub fn instants_of(&self, kind: TraceEventKind) -> Vec<InstantRecord> {
+        self.inner
+            .borrow()
+            .instants
+            .iter()
+            .filter(|i| i.kind == kind)
+            .copied()
+            .collect()
+    }
+
+    /// Aggregate statistics: transaction count, commit-latency histogram,
+    /// the per-track traffic-class matrix, and ring occupancy. Stall
+    /// attribution is owned by each stream's `Clock`; callers merge it in
+    /// via [`TraceSummary::set_stalls`].
+    pub fn summary(&self) -> TraceSummary {
+        let inner = self.inner.borrow();
+        let tracks = inner
+            .tracks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| TrackSummary {
+                track: i as u32,
+                name: inner
+                    .track_names
+                    .get(i)
+                    .and_then(|n| n.clone())
+                    .unwrap_or_else(|| format!("track {i}")),
+                packets: t.packets,
+                bytes_by_class: t.bytes_by_class,
+            })
+            .collect();
+        TraceSummary {
+            txns: inner.txns,
+            commit_latency_log2: inner.commit_latency_log2.to_vec(),
+            tracks,
+            spans_recorded: inner.spans.len() as u64,
+            spans_dropped: inner.dropped_spans,
+            events: inner.instants.len() as u64,
+            stall_picos: Vec::new(),
+        }
+    }
+
+    /// Bytes recorded for `class` on `track` (0 if the track is unknown).
+    pub fn class_bytes(&self, track: u32, class: TrafficClass) -> u64 {
+        self.inner
+            .borrow()
+            .tracks
+            .get(track as usize)
+            .map_or(0, |t| t.bytes_by_class[class.index()])
+    }
+
+    /// Packets recorded on `track` (0 if the track is unknown).
+    pub fn packets(&self, track: u32) -> u64 {
+        self.inner
+            .borrow()
+            .tracks
+            .get(track as usize)
+            .map_or(0, |t| t.packets)
+    }
+
+    pub(crate) fn with_inner_records<R>(
+        &self,
+        f: impl FnOnce(&VecDeque<SpanRecord>, &VecDeque<InstantRecord>) -> R,
+    ) -> R {
+        let inner = self.inner.borrow();
+        f(&inner.spans, &inner.instants)
+    }
+
+    pub(crate) fn known_tracks(&self) -> Vec<u32> {
+        let inner = self.inner.borrow();
+        let mut tracks: Vec<u32> = inner
+            .spans
+            .iter()
+            .map(|s| s.track)
+            .chain(inner.instants.iter().map(|i| i.track))
+            .chain(0..inner.tracks.len() as u32)
+            .collect();
+        tracks.sort_unstable();
+        tracks.dedup();
+        tracks
+    }
+}
+
+impl Tracer for FlightRecorder {
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn span(&self, track: u32, phase: Phase, start: VirtualInstant, end: VirtualInstant) {
+        debug_assert!(end >= start, "span ends before it starts");
+        let mut inner = self.inner.borrow_mut();
+        if phase == Phase::Txn {
+            inner.txns += 1;
+            let picos = end.duration_since(start).as_picos();
+            // floor(log2(picos)); zero-length spans land in bucket 0.
+            let bucket = 63 - picos.max(1).leading_zeros() as usize;
+            inner.commit_latency_log2[bucket] += 1;
+        }
+        if inner.spans.len() == inner.capacity {
+            inner.spans.pop_front();
+            inner.dropped_spans += 1;
+        }
+        inner.spans.push_back(SpanRecord {
+            track,
+            phase,
+            start,
+            end,
+        });
+    }
+
+    fn instant(&self, track: u32, kind: TraceEventKind, at: VirtualInstant, arg: u64) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.instants.len() == inner.capacity {
+            inner.instants.pop_front();
+            inner.dropped_instants += 1;
+        }
+        inner.instants.push_back(InstantRecord {
+            track,
+            kind,
+            at,
+            arg,
+        });
+    }
+
+    fn packet(&self, track: u32, _at: VirtualInstant, class_bytes: [u64; 3]) {
+        let mut inner = self.inner.borrow_mut();
+        let t = inner.track_mut(track);
+        t.packets += 1;
+        for (sum, bytes) in t.bytes_by_class.iter_mut().zip(class_bytes) {
+            *sum += bytes;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(p: u64) -> VirtualInstant {
+        VirtualInstant::from_picos(p)
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let rec = FlightRecorder::with_capacity(3);
+        for i in 0..5u64 {
+            rec.span(0, Phase::DbWrite, at(i * 10), at(i * 10 + 1));
+        }
+        assert_eq!(rec.span_count(), 3);
+        assert_eq!(rec.dropped_spans(), 2);
+        let spans = rec.spans();
+        assert_eq!(spans[0].start, at(20)); // the two oldest are gone
+    }
+
+    #[test]
+    fn clones_share_the_ring() {
+        let rec = FlightRecorder::new();
+        let handle = rec.clone();
+        handle.span(1, Phase::Commit, at(0), at(4));
+        assert_eq!(rec.span_count(), 1);
+        assert_eq!(rec.spans()[0].track, 1);
+    }
+
+    #[test]
+    fn txn_spans_feed_the_latency_histogram() {
+        let rec = FlightRecorder::new();
+        rec.span(0, Phase::Txn, at(0), at(1024)); // 2^10 ps -> bucket 10
+        rec.span(0, Phase::Txn, at(0), at(1800)); // still bucket 10
+        rec.span(0, Phase::Txn, at(0), at(2048)); // bucket 11
+        let s = rec.summary();
+        assert_eq!(s.txns, 3);
+        assert_eq!(s.commit_latency_log2[10], 2);
+        assert_eq!(s.commit_latency_log2[11], 1);
+    }
+
+    #[test]
+    fn packet_counters_accumulate_per_track_and_class() {
+        let rec = FlightRecorder::new();
+        rec.packet(0, at(0), [32, 0, 0]);
+        rec.packet(0, at(1), [0, 8, 4]);
+        rec.packet(1, at(2), [0, 0, 16]);
+        assert_eq!(rec.packets(0), 2);
+        assert_eq!(rec.class_bytes(0, TrafficClass::Modified), 32);
+        assert_eq!(rec.class_bytes(0, TrafficClass::Undo), 8);
+        assert_eq!(rec.class_bytes(0, TrafficClass::Meta), 4);
+        assert_eq!(rec.class_bytes(1, TrafficClass::Meta), 16);
+        assert_eq!(rec.class_bytes(7, TrafficClass::Meta), 0);
+    }
+
+    #[test]
+    fn instants_filter_by_kind() {
+        let rec = FlightRecorder::new();
+        rec.instant(0, TraceEventKind::PrimaryCrash, at(5), 5);
+        rec.instant(1, TraceEventKind::FailoverComplete, at(9), 42);
+        let fo = rec.instants_of(TraceEventKind::FailoverComplete);
+        assert_eq!(fo.len(), 1);
+        assert_eq!(fo[0].arg, 42);
+        assert_eq!(rec.instants().len(), 2);
+    }
+
+    #[test]
+    fn track_names_render() {
+        let rec = FlightRecorder::new();
+        rec.set_track_name(0, "primary");
+        assert_eq!(rec.track_name(0), "primary");
+        assert_eq!(rec.track_name(3), "track 3");
+    }
+
+    #[test]
+    fn zero_length_txn_span_is_bucket_zero() {
+        let rec = FlightRecorder::new();
+        let t = at(77);
+        rec.span(0, Phase::Txn, t, t);
+        assert_eq!(rec.summary().commit_latency_log2[0], 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Aggregate run statistics and their JSON rendering.
+
+use std::fmt::Write as _;
+
+use dsnrep_simcore::{StallCause, TrafficClass, VirtualDuration};
+
+use crate::json_escape;
+
+/// One row of the traffic-class matrix: a track's packet and byte totals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrackSummary {
+    /// Track id.
+    pub track: u32,
+    /// Display name.
+    pub name: String,
+    /// Packets sent from this track.
+    pub packets: u64,
+    /// Bytes per [`TrafficClass`] index.
+    pub bytes_by_class: [u64; 3],
+}
+
+/// Aggregate statistics for one traced run.
+///
+/// Produced by [`FlightRecorder::summary`](crate::FlightRecorder::summary);
+/// stall attribution lives in each stream's `Clock`, so callers merge it in
+/// with [`TraceSummary::set_stalls`] before rendering.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Transactions whose `Txn` span was recorded.
+    pub txns: u64,
+    /// Commit-latency histogram: bucket `i` counts transactions whose
+    /// virtual duration `d` satisfies `floor(log2(d_picos)) == i`.
+    pub commit_latency_log2: Vec<u64>,
+    /// Per-track traffic-class matrix.
+    pub tracks: Vec<TrackSummary>,
+    /// Spans currently held in the ring.
+    pub spans_recorded: u64,
+    /// Spans dropped because the ring was full.
+    pub spans_dropped: u64,
+    /// Point events currently held in the ring.
+    pub events: u64,
+    /// Named per-cause stall totals in picoseconds, one entry per stream
+    /// (`(stream_name, breakdown)`), empty until [`set_stalls`] is called.
+    ///
+    /// [`set_stalls`]: TraceSummary::set_stalls
+    pub stall_picos: Vec<(String, [u64; StallCause::COUNT])>,
+}
+
+impl TraceSummary {
+    /// Records the per-cause stall breakdown of one stream (typically read
+    /// off its `Clock::stall_breakdown`). May be called once per stream.
+    pub fn set_stalls(&mut self, stream: &str, breakdown: [VirtualDuration; StallCause::COUNT]) {
+        let mut picos = [0u64; StallCause::COUNT];
+        for (slot, d) in picos.iter_mut().zip(breakdown.iter()) {
+            *slot = d.as_picos();
+        }
+        self.stall_picos.push((stream.to_string(), picos));
+    }
+
+    /// Renders the summary as one pretty-printed JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"txns\": {},", self.txns);
+        out.push_str("  \"commit_latency_log2\": [");
+        let mut first = true;
+        for (bucket, &count) in self.commit_latency_log2.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n    {{\"ge_picos\": {}, \"count\": {count}}}",
+                1u128 << bucket
+            );
+        }
+        out.push_str("\n  ],\n");
+        out.push_str("  \"tracks\": [");
+        for (i, t) in self.tracks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"track\": {}, \"name\": \"{}\", \"packets\": {}, \
+                 \"modified_bytes\": {}, \"undo_bytes\": {}, \"meta_bytes\": {}}}",
+                t.track,
+                json_escape(&t.name),
+                t.packets,
+                t.bytes_by_class[TrafficClass::Modified.index()],
+                t.bytes_by_class[TrafficClass::Undo.index()],
+                t.bytes_by_class[TrafficClass::Meta.index()]
+            );
+        }
+        out.push_str("\n  ],\n");
+        out.push_str("  \"stalls\": {");
+        for (i, (stream, picos)) in self.stall_picos.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": {{", json_escape(stream));
+            let mut total = 0u64;
+            for cause in StallCause::ALL {
+                let _ = write!(out, "\"{}\": {}, ", cause.name(), picos[cause.index()]);
+                total += picos[cause.index()];
+            }
+            let _ = write!(out, "\"total\": {total}}}");
+        }
+        out.push_str("\n  },\n");
+        let _ = writeln!(
+            out,
+            "  \"ring\": {{\"spans\": {}, \"dropped\": {}, \"events\": {}}}",
+            self.spans_recorded, self.spans_dropped, self.events
+        );
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::FlightRecorder;
+    use crate::tracer::{Phase, Tracer};
+    use dsnrep_simcore::VirtualInstant;
+
+    #[test]
+    fn summary_json_contains_the_expected_sections() {
+        let rec = FlightRecorder::new();
+        rec.set_track_name(0, "primary");
+        rec.span(
+            0,
+            Phase::Txn,
+            VirtualInstant::from_picos(0),
+            VirtualInstant::from_picos(1024),
+        );
+        rec.packet(0, VirtualInstant::from_picos(5), [32, 0, 4]);
+        let mut s = rec.summary();
+        let mut breakdown = [VirtualDuration::ZERO; StallCause::COUNT];
+        breakdown[StallCause::PostedWindow.index()] = VirtualDuration::from_picos(11);
+        breakdown[StallCause::TwoSafe.index()] = VirtualDuration::from_picos(31);
+        s.set_stalls("primary", breakdown);
+        let json = s.to_json();
+        assert!(json.contains("\"txns\": 1"));
+        assert!(json.contains("\"ge_picos\": 1024, \"count\": 1"));
+        assert!(json.contains("\"name\": \"primary\""));
+        assert!(json.contains("\"modified_bytes\": 32"));
+        assert!(json.contains("\"meta_bytes\": 4"));
+        assert!(json.contains("\"posted_window\": 11"));
+        assert!(json.contains("\"two_safe\": 31"));
+        assert!(json.contains("\"total\": 42"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn stall_causes_round_trip_through_names() {
+        // The JSON keys come straight from StallCause::name; make sure
+        // every cause appears exactly once per stream.
+        let rec = FlightRecorder::new();
+        let mut s = rec.summary();
+        s.set_stalls("s0", [VirtualDuration::ZERO; StallCause::COUNT]);
+        let json = s.to_json();
+        for cause in StallCause::ALL {
+            assert_eq!(
+                json.matches(&format!("\"{}\"", cause.name())).count(),
+                1,
+                "cause {cause} missing or duplicated"
+            );
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The probe interface and its zero-cost default.
+
+use core::fmt;
+
+use dsnrep_simcore::VirtualInstant;
+
+/// A per-transaction pipeline phase, the unit of span attribution.
+///
+/// The phases follow the paper's cost anatomy of a transaction: begin
+/// bookkeeping, in-place database stores, undo-log (or mirror) writes,
+/// the commit sequence, and the write barriers that order it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// A whole transaction, begin to commit (or abort).
+    Txn,
+    /// `begin`: set-range bookkeeping reset, begin cost.
+    Begin,
+    /// `set_range`: undo-log payload copies / mirror propagation.
+    UndoWrite,
+    /// `write`: an in-place database store (modified data).
+    DbWrite,
+    /// `commit`: sequence-number update, commit flag, durability wait.
+    Commit,
+    /// A write-memory barrier (flush of partially filled write buffers).
+    Barrier,
+    /// `abort`: undo-log rollback.
+    Abort,
+    /// `recover`: post-crash log scan and rollback/roll-forward.
+    Recovery,
+}
+
+impl Phase {
+    /// Every phase, in display order.
+    pub const ALL: [Phase; 8] = [
+        Phase::Txn,
+        Phase::Begin,
+        Phase::UndoWrite,
+        Phase::DbWrite,
+        Phase::Commit,
+        Phase::Barrier,
+        Phase::Abort,
+        Phase::Recovery,
+    ];
+
+    /// A stable lower-snake-case name for trace and JSON output.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Phase::Txn => "txn",
+            Phase::Begin => "begin",
+            Phase::UndoWrite => "undo_write",
+            Phase::DbWrite => "db_write",
+            Phase::Commit => "commit",
+            Phase::Barrier => "barrier",
+            Phase::Abort => "abort",
+            Phase::Recovery => "recovery",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A point event on a track: cluster lifecycle and failure-detection marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceEventKind {
+    /// The primary crashed (argument: virtual crash instant in picoseconds).
+    PrimaryCrash,
+    /// Backup recovery began (argument: committed sequence at takeover).
+    RecoveryStart,
+    /// Failover finished; the backup is serving (argument: committed
+    /// sequence after recovery).
+    FailoverComplete,
+    /// A consistency audit found a violation (argument: violation count).
+    AuditViolation,
+}
+
+impl TraceEventKind {
+    /// A stable lower-snake-case name for trace and JSON output.
+    pub const fn name(self) -> &'static str {
+        match self {
+            TraceEventKind::PrimaryCrash => "primary_crash",
+            TraceEventKind::RecoveryStart => "recovery_start",
+            TraceEventKind::FailoverComplete => "failover_complete",
+            TraceEventKind::AuditViolation => "audit_violation",
+        }
+    }
+}
+
+impl fmt::Display for TraceEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The probe interface threaded through the pipeline as a type parameter.
+///
+/// Every method has a no-op default body, so an implementation records only
+/// what it cares about — and the [`NullTracer`] records nothing at all and
+/// monomorphizes to zero instructions. Probes receive a `track` (a small
+/// integer naming the simulated node: see
+/// [`TRACK_PRIMARY`](crate::TRACK_PRIMARY) /
+/// [`TRACK_BACKUP`](crate::TRACK_BACKUP)) and virtual-time coordinates.
+///
+/// Implementations are handles: cloning must produce a view onto the same
+/// underlying recorder (or another zero-sized no-op), because the pipeline
+/// clones the tracer into every machine, port and cluster it instruments.
+pub trait Tracer: Clone + fmt::Debug {
+    /// Returns `true` if this tracer records anything. Callers may use this
+    /// to skip argument preparation that is only needed for tracing.
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    /// Records a completed phase span `[start, end)` on `track`.
+    #[inline]
+    fn span(&self, track: u32, phase: Phase, start: VirtualInstant, end: VirtualInstant) {
+        let _ = (track, phase, start, end);
+    }
+
+    /// Records a point event at `at` on `track` with one numeric argument.
+    #[inline]
+    fn instant(&self, track: u32, kind: TraceEventKind, at: VirtualInstant, arg: u64) {
+        let _ = (track, kind, at, arg);
+    }
+
+    /// Records one SAN packet sent at `at` from `track`, with its payload
+    /// bytes broken down per
+    /// [`TrafficClass`](dsnrep_simcore::TrafficClass) index.
+    #[inline]
+    fn packet(&self, track: u32, at: VirtualInstant, class_bytes: [u64; 3]) {
+        let _ = (track, at, class_bytes);
+    }
+}
+
+/// The zero-cost default tracer: records nothing, compiles to nothing.
+///
+/// # Examples
+///
+/// ```
+/// use dsnrep_obs::{NullTracer, Tracer};
+///
+/// let t = NullTracer;
+/// assert!(!t.is_enabled());
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_tracer_is_disabled_and_inert() {
+        let t = NullTracer;
+        assert!(!t.is_enabled());
+        t.span(
+            0,
+            Phase::Commit,
+            VirtualInstant::from_picos(0),
+            VirtualInstant::from_picos(1),
+        );
+        t.instant(0, TraceEventKind::PrimaryCrash, VirtualInstant::EPOCH, 0);
+        t.packet(0, VirtualInstant::EPOCH, [1, 2, 3]);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Phase::UndoWrite.name(), "undo_write");
+        assert_eq!(
+            TraceEventKind::FailoverComplete.to_string(),
+            "failover_complete"
+        );
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            for (j, q) in Phase::ALL.iter().enumerate() {
+                assert_eq!(i == j, p.name() == q.name());
+            }
+        }
+    }
+}

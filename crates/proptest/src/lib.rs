@@ -239,7 +239,7 @@ pub mod strategy {
         }
     }
 
-    /// A weighted choice among boxed strategies (see [`prop_oneof!`]).
+    /// A weighted choice among boxed strategies (see the `prop_oneof!` macro).
     pub struct Union<V> {
         variants: Vec<(u32, BoxedStrategy<V>)>,
         total: u64,
@@ -248,7 +248,10 @@ pub mod strategy {
     impl<V> Union<V> {
         /// A union drawing each variant with probability `weight/total`.
         pub fn new(variants: Vec<(u32, BoxedStrategy<V>)>) -> Self {
-            assert!(!variants.is_empty(), "prop_oneof! needs at least one variant");
+            assert!(
+                !variants.is_empty(),
+                "prop_oneof! needs at least one variant"
+            );
             let total = variants.iter().map(|(w, _)| u64::from(*w)).sum();
             assert!(total > 0, "prop_oneof! weights must not all be zero");
             Union { variants, total }
@@ -329,7 +332,7 @@ pub mod collection {
     use super::test_runner::TestRng;
     use super::Strategy;
 
-    /// A length range for [`vec`].
+    /// A length range for [`vec()`].
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,
@@ -338,21 +341,30 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            SizeRange { lo: n, hi_exclusive: n + 1 }
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
         }
     }
 
     impl From<core::ops::Range<usize>> for SizeRange {
         fn from(r: core::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty vec size range");
-            SizeRange { lo: r.start, hi_exclusive: r.end }
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
         }
     }
 
     impl From<core::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: core::ops::RangeInclusive<usize>) -> Self {
             assert!(r.start() <= r.end(), "empty vec size range");
-            SizeRange { lo: *r.start(), hi_exclusive: *r.end() + 1 }
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
         }
     }
 
@@ -365,7 +377,10 @@ pub mod collection {
     /// Generates vectors whose elements come from `element` and whose
     /// length is drawn uniformly from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -558,7 +573,7 @@ mod tests {
         if x == u64::MAX {
             return Err(TestCaseError::fail("sentinel"));
         }
-        Ok(x % 2 == 0)
+        Ok(x.is_multiple_of(2))
     }
 
     proptest! {

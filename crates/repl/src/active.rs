@@ -28,25 +28,29 @@ use dsnrep_core::{
     RedoWriter, TxError, VersionTag,
 };
 use dsnrep_mcsim::{Link, Traffic, TxPort};
+use dsnrep_obs::{NullTracer, TraceEventKind, Tracer, TRACK_BACKUP, TRACK_PRIMARY};
 use dsnrep_rio::{Arena, Layout, LayoutError, RegionId, RootSlot};
-use dsnrep_simcore::{CostModel, Region, VirtualInstant};
+use dsnrep_simcore::{CostModel, Region, StallCause, VirtualInstant};
 use dsnrep_workloads::{ThroughputReport, TxCtx, Workload};
 
 use crate::passive::Failover;
 
 /// The backup node: a polling CPU applying the redo ring.
 #[derive(Debug)]
-pub struct BackupNode {
-    machine: Machine,
+pub struct BackupNode<T: Tracer = NullTracer> {
+    machine: Machine<T>,
     reader: RedoReader,
 }
 
-impl BackupNode {
+impl<T: Tracer> BackupNode<T> {
     /// Applies every record visible by `visible_at`, pushing the consumer
     /// cursor back through the reverse mapping. Returns what was applied.
     pub fn catch_up(&mut self, visible_at: VirtualInstant) -> Applied {
-        // The busy-wait loop cannot observe a record before it arrives.
-        self.machine.clock_mut().advance_to(visible_at);
+        // The busy-wait loop cannot observe a record before it arrives:
+        // that wait is data-visibility stall time on the backup.
+        self.machine
+            .clock_mut()
+            .advance_to_for(StallCause::DataVisibility, visible_at);
         self.reader.poll(&mut self.machine)
     }
 
@@ -73,7 +77,7 @@ impl BackupNode {
     }
 
     /// The backup's machine (clock, arena).
-    pub fn machine(&self) -> &Machine {
+    pub fn machine(&self) -> &Machine<T> {
         &self.machine
     }
 }
@@ -81,14 +85,14 @@ impl BackupNode {
 /// The primary-side engine for the active scheme: Version 3 locally, plus
 /// redo shipping and ring flow control at commit.
 #[derive(Debug)]
-pub struct ActivePrimaryEngine {
+pub struct ActivePrimaryEngine<T: Tracer = NullTracer> {
     inner: ImprovedLogEngine,
     writer: RedoWriter,
     ring: Region,
-    backup: Rc<RefCell<BackupNode>>,
+    backup: Rc<RefCell<BackupNode<T>>>,
 }
 
-impl Engine for ActivePrimaryEngine {
+impl<T: Tracer> Engine<T> for ActivePrimaryEngine<T> {
     fn version(&self) -> VersionTag {
         VersionTag::ImprovedLog
     }
@@ -102,13 +106,13 @@ impl Engine for ActivePrimaryEngine {
         vec![self.ring_region(), RedoWriter::producer_root()]
     }
 
-    fn begin(&mut self, m: &mut Machine) -> Result<(), TxError> {
+    fn begin(&mut self, m: &mut Machine<T>) -> Result<(), TxError> {
         self.inner.begin(m)
     }
 
     fn set_range(
         &mut self,
-        m: &mut Machine,
+        m: &mut Machine<T>,
         base: dsnrep_simcore::Addr,
         len: u64,
     ) -> Result<(), TxError> {
@@ -117,7 +121,7 @@ impl Engine for ActivePrimaryEngine {
 
     fn write(
         &mut self,
-        m: &mut Machine,
+        m: &mut Machine<T>,
         base: dsnrep_simcore::Addr,
         bytes: &[u8],
     ) -> Result<(), TxError> {
@@ -126,11 +130,11 @@ impl Engine for ActivePrimaryEngine {
         Ok(())
     }
 
-    fn read(&mut self, m: &mut Machine, base: dsnrep_simcore::Addr, buf: &mut [u8]) {
+    fn read(&mut self, m: &mut Machine<T>, base: dsnrep_simcore::Addr, buf: &mut [u8]) {
         self.inner.read(m, base, buf);
     }
 
-    fn commit(&mut self, m: &mut Machine) -> Result<(), TxError> {
+    fn commit(&mut self, m: &mut Machine<T>) -> Result<(), TxError> {
         // Flow control: block until the ring has room.
         let needed = self.writer.bytes_needed();
         let mut stalls = 0u32;
@@ -148,7 +152,9 @@ impl Engine for ActivePrimaryEngine {
             let consumer_at = backup.consumer_visible_at();
             backup.deliver_up_to(consumer_at);
             drop(backup);
-            m.clock_mut().advance_to(consumer_at);
+            // The primary is blocked on ring space, not on the SAN itself.
+            m.clock_mut()
+                .advance_to_for(StallCause::RingFull, consumer_at);
             if applied.txns == 0 {
                 stalls += 1;
                 assert!(
@@ -181,22 +187,22 @@ impl Engine for ActivePrimaryEngine {
         Ok(())
     }
 
-    fn abort(&mut self, m: &mut Machine) -> Result<(), TxError> {
+    fn abort(&mut self, m: &mut Machine<T>) -> Result<(), TxError> {
         self.writer.discard();
         self.inner.abort(m)
     }
 
-    fn recover(&mut self, m: &mut Machine) -> RecoveryReport {
+    fn recover(&mut self, m: &mut Machine<T>) -> RecoveryReport {
         self.writer.discard();
         self.inner.recover(m)
     }
 
-    fn committed_seq(&self, m: &mut Machine) -> u64 {
+    fn committed_seq(&self, m: &mut Machine<T>) -> u64 {
         self.inner.committed_seq(m)
     }
 }
 
-impl ActivePrimaryEngine {
+impl<T: Tracer> ActivePrimaryEngine<T> {
     fn ring_region(&self) -> Region {
         self.ring
     }
@@ -220,10 +226,10 @@ impl ActivePrimaryEngine {
 /// assert_eq!(cluster.backup_applied_seq(), 200);
 /// ```
 #[derive(Debug)]
-pub struct ActiveCluster {
-    machine: Machine,
-    engine: ActivePrimaryEngine,
-    backup: Rc<RefCell<BackupNode>>,
+pub struct ActiveCluster<T: Tracer + 'static = NullTracer> {
+    machine: Machine<T>,
+    engine: ActivePrimaryEngine<T>,
+    backup: Rc<RefCell<BackupNode<T>>>,
     backup_arena: Rc<RefCell<Arena>>,
     link: Rc<RefCell<Link>>,
 }
@@ -256,11 +262,36 @@ impl ActiveCluster {
         link: Rc<RefCell<Link>>,
         reverse_link: Rc<RefCell<Link>>,
     ) -> Self {
-        #![allow(clippy::let_and_return)]
+        Self::with_links_traced(costs, config, link, reverse_link, NullTracer)
+    }
+}
+
+impl<T: Tracer + 'static> ActiveCluster<T> {
+    /// As [`ActiveCluster::new`], reporting spans, events and packets to
+    /// `tracer` (primary = [`TRACK_PRIMARY`], backup = [`TRACK_BACKUP`]).
+    pub fn new_traced(costs: CostModel, config: &EngineConfig, tracer: T) -> Self {
+        let link = Rc::new(RefCell::new(Link::new(&costs)));
+        let reverse = Rc::new(RefCell::new(Link::new(&costs)));
+        Self::with_links_traced(costs, config, link, reverse, tracer)
+    }
+
+    /// The traced twin of [`ActiveCluster::with_links`].
+    pub fn with_links_traced(
+        costs: CostModel,
+        config: &EngineConfig,
+        link: Rc<RefCell<Link>>,
+        reverse_link: Rc<RefCell<Link>>,
+        tracer: T,
+    ) -> Self {
         let arena = Rc::new(RefCell::new(Arena::new(ImprovedLogEngine::arena_len(
             config,
         ))));
-        let mut machine = Machine::standalone(costs.clone(), Rc::clone(&arena));
+        let mut machine = Machine::standalone_traced(
+            costs.clone(),
+            Rc::clone(&arena),
+            tracer.clone(),
+            TRACK_PRIMARY,
+        );
         let inner = ImprovedLogEngine::format(&mut machine, config);
         let layout = Layout::read(&arena.borrow()).expect("just formatted");
         let ring = layout.expect_region(RegionId::RedoRing);
@@ -270,15 +301,32 @@ impl ActiveCluster {
         let backup_arena = Rc::new(RefCell::new(arena.borrow().clone()));
 
         // Primary -> backup port: ring + producer cursor only.
-        let port = TxPort::new(&costs, Rc::clone(&link), Rc::clone(&backup_arena));
+        let port = TxPort::new_traced(
+            &costs,
+            Rc::clone(&link),
+            Rc::clone(&backup_arena),
+            tracer.clone(),
+            TRACK_PRIMARY,
+        );
         machine.attach_port(port);
         machine.replicate(ring);
         machine.replicate(RedoWriter::producer_root());
 
         // Backup -> primary port: consumer cursor only.
-        let reverse = TxPort::new(&costs, reverse_link, Rc::clone(&arena));
-        let mut backup_machine =
-            Machine::with_port(costs.clone(), Rc::clone(&backup_arena), reverse);
+        let reverse = TxPort::new_traced(
+            &costs,
+            reverse_link,
+            Rc::clone(&arena),
+            tracer.clone(),
+            TRACK_BACKUP,
+        );
+        let mut backup_machine = Machine::with_port_traced(
+            costs.clone(),
+            Rc::clone(&backup_arena),
+            reverse,
+            tracer,
+            TRACK_BACKUP,
+        );
         backup_machine.replicate(RedoWriter::consumer_root());
         let backup = Rc::new(RefCell::new(BackupNode {
             machine: backup_machine,
@@ -306,23 +354,23 @@ impl ActiveCluster {
     }
 
     /// The primary machine.
-    pub fn machine(&self) -> &Machine {
+    pub fn machine(&self) -> &Machine<T> {
         &self.machine
     }
 
     /// Mutable access to the primary machine (initial load pokes).
-    pub fn machine_mut(&mut self) -> &mut Machine {
+    pub fn machine_mut(&mut self) -> &mut Machine<T> {
         &mut self.machine
     }
 
     /// The primary-side engine (for direct API use in examples/tests).
-    pub fn engine_mut(&mut self) -> &mut ActivePrimaryEngine {
+    pub fn engine_mut(&mut self) -> &mut ActivePrimaryEngine<T> {
         &mut self.engine
     }
 
     /// Splits the cluster into the primary machine and engine for direct
     /// transaction use (e.g. by a `TxCtx`).
-    pub fn parts_mut(&mut self) -> (&mut Machine, &mut ActivePrimaryEngine) {
+    pub fn parts_mut(&mut self) -> (&mut Machine<T>, &mut ActivePrimaryEngine<T>) {
         (&mut self.machine, &mut self.engine)
     }
 
@@ -346,7 +394,7 @@ impl ActiveCluster {
     /// # Panics
     ///
     /// Panics on engine errors (sizing bugs).
-    pub fn run_txn(&mut self, workload: &mut dyn Workload) {
+    pub fn run_txn(&mut self, workload: &mut dyn Workload<T>) {
         let mut ctx = TxCtx::new(&mut self.machine, &mut self.engine);
         workload
             .run_txn(&mut ctx)
@@ -354,7 +402,7 @@ impl ActiveCluster {
     }
 
     /// Runs `txns` transactions and reports primary throughput.
-    pub fn run(&mut self, workload: &mut dyn Workload, txns: u64) -> ThroughputReport {
+    pub fn run(&mut self, workload: &mut dyn Workload<T>, txns: u64) -> ThroughputReport {
         let start = self.machine.now();
         for _ in 0..txns {
             self.run_txn(workload);
@@ -385,6 +433,12 @@ impl ActiveCluster {
         self.backup.borrow().applied_seq()
     }
 
+    /// Execution counters of the backup machine (clock, stall attribution,
+    /// cache) — the backup-side half of the stall breakdown.
+    pub fn backup_stats(&self) -> dsnrep_core::MachineStats {
+        self.backup.borrow().machine.stats()
+    }
+
     /// Reads from the **backup's** database copy: a consistent snapshot at
     /// [`ActiveCluster::backup_applied_seq`] transaction boundaries. This is
     /// the "use the backup to execute transactions itself" direction the
@@ -413,7 +467,8 @@ impl ActiveCluster {
     ///
     /// Returns [`LayoutError`] if the backup arena is unreadable (cannot
     /// happen in a correctly wired cluster).
-    pub fn crash_primary(mut self) -> Result<Failover, LayoutError> {
+    pub fn crash_primary(mut self) -> Result<Failover<T>, LayoutError> {
+        self.machine.trace_event(TraceEventKind::PrimaryCrash, 0);
         let crash_at = self.machine.crash();
         // Drop the engine first so its Rc handle to the backup goes away.
         drop(self.engine);
@@ -439,9 +494,11 @@ impl ActiveCluster {
         machine.crash(); // cold cache; drop the reverse port's in-flight
         machine.clear_replication();
         let start = machine.now();
+        machine.trace_event(TraceEventKind::RecoveryStart, applied);
         let mut engine = ImprovedLogEngine::attach(&mut machine)?;
         let report = engine.recover(&mut machine);
         let recovery_time = machine.now().duration_since(start);
+        machine.trace_event(TraceEventKind::FailoverComplete, report.committed_seq);
         Ok(Failover {
             machine,
             engine: Box::new(engine),

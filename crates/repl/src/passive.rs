@@ -19,6 +19,7 @@ use dsnrep_core::{
     MirrorEngine, RecoveryReport, VersionTag,
 };
 use dsnrep_mcsim::{Link, Traffic, TxPort};
+use dsnrep_obs::{NullTracer, TraceEventKind, Tracer, TRACK_BACKUP, TRACK_PRIMARY};
 use dsnrep_rio::Arena;
 use dsnrep_simcore::CostModel;
 use dsnrep_simcore::{TrafficClass, VirtualDuration};
@@ -26,11 +27,11 @@ use dsnrep_workloads::{ThroughputReport, TxCtx, Workload};
 
 /// The outcome of a backup takeover.
 #[derive(Debug)]
-pub struct Failover {
+pub struct Failover<T: Tracer + 'static = NullTracer> {
     /// The backup node, now serving as a standalone primary.
-    pub machine: Machine,
+    pub machine: Machine<T>,
     /// The recovered engine over the backup's arena.
-    pub engine: Box<dyn Engine>,
+    pub engine: Box<dyn Engine<T>>,
     /// What recovery found.
     pub report: RecoveryReport,
     /// Virtual time the takeover's recovery work cost on the backup:
@@ -59,11 +60,12 @@ pub struct Failover {
 /// assert!(cluster.traffic().total_bytes() > 0);
 /// ```
 #[derive(Debug)]
-pub struct PassiveCluster {
+pub struct PassiveCluster<T: Tracer + 'static = NullTracer> {
     version: VersionTag,
     costs: CostModel,
-    machine: Machine,
-    engine: Box<dyn Engine>,
+    tracer: T,
+    machine: Machine<T>,
+    engine: Box<dyn Engine<T>>,
     backups: Vec<Rc<RefCell<Arena>>>,
     link: Rc<RefCell<Link>>,
 }
@@ -105,15 +107,56 @@ impl PassiveCluster {
         link: Rc<RefCell<Link>>,
         backup_count: usize,
     ) -> Self {
+        Self::with_link_and_backups_traced(costs, version, config, link, backup_count, NullTracer)
+    }
+}
+
+impl<T: Tracer + 'static> PassiveCluster<T> {
+    /// As [`PassiveCluster::new`], reporting spans, events and packets to
+    /// `tracer` (primary = [`TRACK_PRIMARY`], backup = [`TRACK_BACKUP`]).
+    pub fn new_traced(
+        costs: CostModel,
+        version: VersionTag,
+        config: &EngineConfig,
+        tracer: T,
+    ) -> Self {
+        let link = Rc::new(RefCell::new(Link::new(&costs)));
+        Self::with_link_and_backups_traced(costs, version, config, link, 1, tracer)
+    }
+
+    /// The traced twin of [`PassiveCluster::with_link_and_backups`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backup_count` is zero.
+    pub fn with_link_and_backups_traced(
+        costs: CostModel,
+        version: VersionTag,
+        config: &EngineConfig,
+        link: Rc<RefCell<Link>>,
+        backup_count: usize,
+        tracer: T,
+    ) -> Self {
         assert!(backup_count > 0, "a primary-backup cluster needs a backup");
         let arena = Rc::new(RefCell::new(Arena::new(arena_len(version, config))));
-        let mut machine = Machine::standalone(costs.clone(), Rc::clone(&arena));
+        let mut machine = Machine::standalone_traced(
+            costs.clone(),
+            Rc::clone(&arena),
+            tracer.clone(),
+            TRACK_PRIMARY,
+        );
         let engine = build_engine(version, &mut machine, config);
         // Initial synchronization: every backup starts as an identical copy.
         let backups: Vec<Rc<RefCell<Arena>>> = (0..backup_count)
             .map(|_| Rc::new(RefCell::new(arena.borrow().clone())))
             .collect();
-        let mut port = TxPort::new(&costs, Rc::clone(&link), Rc::clone(&backups[0]));
+        let mut port = TxPort::new_traced(
+            &costs,
+            Rc::clone(&link),
+            Rc::clone(&backups[0]),
+            tracer.clone(),
+            TRACK_PRIMARY,
+        );
         for backup in &backups[1..] {
             port.add_peer(Rc::clone(backup));
         }
@@ -124,6 +167,7 @@ impl PassiveCluster {
         PassiveCluster {
             version,
             costs,
+            tracer,
             machine,
             engine,
             backups,
@@ -137,17 +181,17 @@ impl PassiveCluster {
     }
 
     /// The primary's engine.
-    pub fn engine(&self) -> &dyn Engine {
+    pub fn engine(&self) -> &dyn Engine<T> {
         self.engine.as_ref()
     }
 
     /// The primary machine.
-    pub fn machine(&self) -> &Machine {
+    pub fn machine(&self) -> &Machine<T> {
         &self.machine
     }
 
     /// Mutable access to the primary machine (initial load pokes).
-    pub fn machine_mut(&mut self) -> &mut Machine {
+    pub fn machine_mut(&mut self) -> &mut Machine<T> {
         &mut self.machine
     }
 
@@ -198,7 +242,7 @@ impl PassiveCluster {
     /// # Panics
     ///
     /// Panics on engine errors (sizing bugs).
-    pub fn run_txn(&mut self, workload: &mut dyn Workload) {
+    pub fn run_txn(&mut self, workload: &mut dyn Workload<T>) {
         let mut ctx = TxCtx::new(&mut self.machine, self.engine.as_mut());
         workload
             .run_txn(&mut ctx)
@@ -206,7 +250,7 @@ impl PassiveCluster {
     }
 
     /// Runs `txns` transactions and reports primary throughput.
-    pub fn run(&mut self, workload: &mut dyn Workload, txns: u64) -> ThroughputReport {
+    pub fn run(&mut self, workload: &mut dyn Workload<T>, txns: u64) -> ThroughputReport {
         let start = self.machine.now();
         for _ in 0..txns {
             self.run_txn(workload);
@@ -238,7 +282,7 @@ impl PassiveCluster {
     /// Crashes the primary *now* (in-flight packets past the crash instant
     /// are lost) and fails over to the backup, running the version's
     /// takeover procedure.
-    pub fn crash_primary(self) -> Failover {
+    pub fn crash_primary(self) -> Failover<T> {
         self.crash_primary_to(0)
     }
 
@@ -249,11 +293,24 @@ impl PassiveCluster {
     /// # Panics
     ///
     /// Panics if `index` is out of range.
-    pub fn crash_primary_to(mut self, index: usize) -> Failover {
+    pub fn crash_primary_to(mut self, index: usize) -> Failover<T> {
+        let crashed_at = self.machine.now();
+        self.machine
+            .trace_event(TraceEventKind::PrimaryCrash, index as u64);
         self.machine.crash();
         let backup = Rc::clone(&self.backups[index]);
-        let mut backup_machine = Machine::standalone(self.costs.clone(), backup);
+        let mut backup_machine = Machine::standalone_traced(
+            self.costs.clone(),
+            backup,
+            self.tracer.clone(),
+            TRACK_BACKUP,
+        );
+        // The backup was up the whole run receiving SAN packets; its
+        // promoted timeline starts at the crash instant, which keeps the
+        // merged flight-recorder trace causal across tracks.
+        backup_machine.clock_mut().advance_to(crashed_at);
         let start = backup_machine.now();
+        backup_machine.trace_event(TraceEventKind::RecoveryStart, 0);
         if matches!(
             self.version,
             VersionTag::MirrorCopy | VersionTag::MirrorDiff
@@ -279,6 +336,7 @@ impl PassiveCluster {
             self.costs.copy_per_byte.as_picos() * report.bytes_restored,
         ));
         let recovery_time = backup_machine.now().duration_since(start);
+        backup_machine.trace_event(TraceEventKind::FailoverComplete, report.committed_seq);
         Failover {
             machine: backup_machine,
             engine,

@@ -1,0 +1,128 @@
+//! Cross-checks between the flight recorder's failover events and the
+//! cluster-layer takeover timeline: the recorder's
+//! `recovery_start -> failover_complete` interval *is* the recovery
+//! duration the replication driver reports, and feeding that duration into
+//! `takeover_timeline` reproduces the same serving delay after view
+//! installation.
+
+use dsnrep_cluster::{takeover_timeline, HeartbeatConfig, NodeId, ViewManager};
+use dsnrep_core::{EngineConfig, VersionTag};
+use dsnrep_obs::{FlightRecorder, TraceEventKind, TRACK_BACKUP, TRACK_PRIMARY};
+use dsnrep_repl::{ActiveCluster, PassiveCluster};
+use dsnrep_simcore::{CostModel, VirtualDuration, VirtualInstant, MIB};
+use dsnrep_workloads::WorkloadKind;
+
+fn config() -> EngineConfig {
+    EngineConfig::for_db(4 * MIB)
+}
+
+/// Pulls the single crash/recovery-start/failover-complete triple out of a
+/// recorder and checks its internal ordering.
+fn failover_events(
+    recorder: &FlightRecorder,
+) -> (VirtualInstant, VirtualInstant, VirtualInstant, u64) {
+    let crashes = recorder.instants_of(TraceEventKind::PrimaryCrash);
+    let starts = recorder.instants_of(TraceEventKind::RecoveryStart);
+    let completes = recorder.instants_of(TraceEventKind::FailoverComplete);
+    assert_eq!(crashes.len(), 1, "expected exactly one primary_crash");
+    assert_eq!(starts.len(), 1, "expected exactly one recovery_start");
+    assert_eq!(completes.len(), 1, "expected exactly one failover_complete");
+    assert_eq!(crashes[0].track, TRACK_PRIMARY);
+    assert_eq!(starts[0].track, TRACK_BACKUP);
+    assert_eq!(completes[0].track, TRACK_BACKUP);
+    assert!(starts[0].at <= completes[0].at);
+    (
+        crashes[0].at,
+        starts[0].at,
+        completes[0].at,
+        completes[0].arg,
+    )
+}
+
+/// Runs a traced passive cluster to a crash and returns the recorder plus
+/// the driver-reported recovery duration and committed sequence number.
+fn passive_failover(version: VersionTag) -> (FlightRecorder, VirtualDuration, u64) {
+    let recorder = FlightRecorder::new();
+    let mut cluster = PassiveCluster::new_traced(
+        CostModel::alpha_21164a(),
+        version,
+        &config(),
+        recorder.clone(),
+    );
+    let mut workload = WorkloadKind::DebitCredit.build_traced(cluster.engine().db_region(), 42);
+    cluster.run(workload.as_mut(), 200);
+    let failover = cluster.crash_primary();
+    (
+        recorder,
+        failover.recovery_time,
+        failover.report.committed_seq,
+    )
+}
+
+#[test]
+fn recorder_interval_equals_reported_recovery_time() {
+    for version in VersionTag::ALL {
+        let (recorder, recovery_time, committed_seq) = passive_failover(version);
+        let (crashed_at, started_at, completed_at, arg) = failover_events(&recorder);
+        assert!(started_at >= crashed_at, "{version}: recovery before crash");
+        assert_eq!(
+            completed_at.saturating_duration_since(started_at),
+            recovery_time,
+            "{version}: recorder interval != driver-reported recovery time"
+        );
+        assert_eq!(
+            arg, committed_seq,
+            "{version}: failover_complete arg != committed sequence"
+        );
+    }
+}
+
+#[test]
+fn active_failover_events_match_driver_report() {
+    let recorder = FlightRecorder::new();
+    let mut cluster =
+        ActiveCluster::new_traced(CostModel::alpha_21164a(), &config(), recorder.clone());
+    let mut workload = WorkloadKind::DebitCredit.build_traced(cluster.db_region(), 42);
+    cluster.run(workload.as_mut(), 200);
+    let failover = cluster.crash_primary().expect("backup holds the layout");
+    let (crashed_at, started_at, completed_at, _) = failover_events(&recorder);
+    assert!(started_at >= crashed_at);
+    assert_eq!(
+        completed_at.saturating_duration_since(started_at),
+        failover.recovery_time,
+        "active: recorder interval != driver-reported recovery time"
+    );
+}
+
+#[test]
+fn recorder_recovery_matches_takeover_timeline() {
+    // The cluster layer models detection + view change; the replication
+    // layer measures the engine's recovery work. Feeding the traced
+    // recovery duration into the timeline must put serving exactly one
+    // recovery interval after view installation — the two layers agree on
+    // what "recovery" means.
+    let (recorder, recovery_time, _) = passive_failover(VersionTag::ImprovedLog);
+    let (_, started_at, completed_at, _) = failover_events(&recorder);
+
+    let mut views = ViewManager::new(NodeId::new(0), vec![NodeId::new(1)], VirtualInstant::EPOCH);
+    let crash = VirtualInstant::EPOCH + VirtualDuration::from_millis(10);
+    let timeline = takeover_timeline(
+        HeartbeatConfig::default(),
+        VirtualDuration::from_micros(3),
+        crash,
+        recovery_time,
+        &mut views,
+    )
+    .expect("two-node cluster has a successor");
+
+    let traced_recovery = completed_at.saturating_duration_since(started_at);
+    assert_eq!(
+        timeline
+            .serving_at
+            .saturating_duration_since(timeline.view_installed_at),
+        traced_recovery,
+        "timeline serving delay != flight-recorder recovery interval"
+    );
+    assert!(timeline.outage() >= traced_recovery);
+    assert_eq!(views.current().primary(), NodeId::new(1));
+}

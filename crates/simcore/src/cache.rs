@@ -145,15 +145,13 @@ impl DirectMappedCache {
             let idx = (line & self.index_mask) as usize;
             // Lines map to consecutive indices until the index wraps.
             let chunk = (lines - idx as u64).min(last - line + 1) as usize;
-            let mut expect = line;
-            for tag in &mut self.tags[idx..idx + chunk] {
+            for (expect, tag) in (line..).zip(&mut self.tags[idx..idx + chunk]) {
                 if *tag == expect {
                     out.hits += 1;
                 } else {
                     out.misses += 1;
                     *tag = expect;
                 }
-                expect += 1;
             }
             line += chunk as u64;
         }

@@ -2,26 +2,98 @@
 
 use crate::time::{VirtualDuration, VirtualInstant};
 
+/// Why a clock stalled: the shared resource (or ordering constraint) that
+/// forced a [`Clock::advance_to_for`] jump.
+///
+/// The paper explains throughput differences by *where* time goes —
+/// Section 5 attributes slowdowns to link arbitration, posted-write flow
+/// control, and write-buffer flushes — so the simulator keeps one stall
+/// accumulator per cause rather than a single lump sum. The sum over all
+/// causes always equals [`Clock::stalled`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StallCause {
+    /// The posted-write window was full: the emitter had to wait for an
+    /// earlier packet to be delivered before posting another.
+    PostedWindow,
+    /// A barrier forced partially filled write buffers onto the link and the
+    /// stream waited for the flush to drain.
+    WbufFlush,
+    /// A 2-safe commit waited for the backup to acknowledge delivery.
+    TwoSafe,
+    /// The active-backup redo ring was full; the primary waited for the
+    /// consumer to free space.
+    RingFull,
+    /// A backup waited for data to become visible (delivery latency) before
+    /// applying it.
+    DataVisibility,
+    /// Anything else: failover clamps, test scaffolding, uncategorised waits.
+    Other,
+}
+
+impl StallCause {
+    /// Every cause, in the order used by [`Clock::stall_breakdown`].
+    pub const ALL: [StallCause; 6] = [
+        StallCause::PostedWindow,
+        StallCause::WbufFlush,
+        StallCause::TwoSafe,
+        StallCause::RingFull,
+        StallCause::DataVisibility,
+        StallCause::Other,
+    ];
+
+    /// Number of causes (length of [`StallCause::ALL`]).
+    pub const COUNT: usize = 6;
+
+    /// Index of this cause into a per-cause array (dense, 0-based).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// A stable lower-snake-case name for reports and JSON keys.
+    pub const fn name(self) -> &'static str {
+        match self {
+            StallCause::PostedWindow => "posted_window",
+            StallCause::WbufFlush => "wbuf_flush",
+            StallCause::TwoSafe => "two_safe",
+            StallCause::RingFull => "ring_full",
+            StallCause::DataVisibility => "data_visibility",
+            StallCause::Other => "other",
+        }
+    }
+}
+
+impl core::fmt::Display for StallCause {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A monotone virtual clock owned by one simulated processor (stream).
 ///
 /// Every cost in the simulation is charged by advancing a clock. Stalls on
 /// shared resources (the SAN link, a full redo ring) are modelled by jumping
-/// the clock forward to the time the resource frees up.
+/// the clock forward to the time the resource frees up, attributed to a
+/// [`StallCause`].
 ///
 /// # Examples
 ///
 /// ```
-/// use dsnrep_simcore::{Clock, VirtualDuration, VirtualInstant};
+/// use dsnrep_simcore::{Clock, StallCause, VirtualDuration, VirtualInstant};
 ///
 /// let mut clock = Clock::new();
 /// clock.advance(VirtualDuration::from_nanos(120));
 /// clock.advance_to(VirtualInstant::from_picos(50_000)); // earlier: no-op
 /// assert_eq!(clock.now().as_picos(), 120_000);
+/// clock.advance_to_for(StallCause::TwoSafe, VirtualInstant::from_picos(200_000));
+/// assert_eq!(clock.stalled_by(StallCause::TwoSafe).as_picos(), 80_000);
+/// assert_eq!(clock.stalled(), clock.stalled_by(StallCause::TwoSafe));
 /// ```
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Clock {
     now: VirtualInstant,
     stalled: VirtualDuration,
+    by_cause: [VirtualDuration; StallCause::COUNT],
 }
 
 impl Clock {
@@ -34,7 +106,7 @@ impl Clock {
     pub fn starting_at(at: VirtualInstant) -> Self {
         Clock {
             now: at,
-            stalled: VirtualDuration::ZERO,
+            ..Clock::default()
         }
     }
 
@@ -51,23 +123,50 @@ impl Clock {
     }
 
     /// Jumps the clock forward to `t` if `t` is in the future, recording the
-    /// jump as stall time; does nothing otherwise.
+    /// jump as stall time attributed to [`StallCause::Other`]; does nothing
+    /// otherwise.
+    ///
+    /// Callers that know why they are waiting should prefer
+    /// [`Clock::advance_to_for`] so the stall breakdown stays meaningful.
     #[inline]
     pub fn advance_to(&mut self, t: VirtualInstant) {
+        self.advance_to_for(StallCause::Other, t);
+    }
+
+    /// Jumps the clock forward to `t` if `t` is in the future, recording the
+    /// jump as stall time attributed to `cause`; does nothing otherwise.
+    #[inline]
+    pub fn advance_to_for(&mut self, cause: StallCause, t: VirtualInstant) {
         if t > self.now {
-            self.stalled += t.duration_since(self.now);
+            let d = t.duration_since(self.now);
+            self.stalled += d;
+            self.by_cause[cause.index()] += d;
             self.now = t;
         }
     }
 
     /// Total time this clock has spent stalled on shared resources
-    /// (see [`Clock::advance_to`]).
+    /// (see [`Clock::advance_to`]). Always equals the sum of
+    /// [`Clock::stall_breakdown`].
     #[inline]
     pub fn stalled(&self) -> VirtualDuration {
         self.stalled
     }
 
-    /// Resets the clock to the epoch and clears the stall accumulator.
+    /// Stall time attributed to one cause.
+    #[inline]
+    pub fn stalled_by(&self, cause: StallCause) -> VirtualDuration {
+        self.by_cause[cause.index()]
+    }
+
+    /// The full per-cause stall breakdown, indexed by [`StallCause::index`]
+    /// (same order as [`StallCause::ALL`]).
+    #[inline]
+    pub fn stall_breakdown(&self) -> [VirtualDuration; StallCause::COUNT] {
+        self.by_cause
+    }
+
+    /// Resets the clock to the epoch and clears the stall accumulators.
     pub fn reset(&mut self) {
         *self = Clock::default();
     }
@@ -96,6 +195,7 @@ mod tests {
         c.advance_to(VirtualInstant::from_picos(25_000));
         assert_eq!(c.now().as_picos(), 25_000);
         assert_eq!(c.stalled().as_picos(), 15_000);
+        assert_eq!(c.stalled_by(StallCause::Other).as_picos(), 15_000);
     }
 
     #[test]
@@ -110,5 +210,28 @@ mod tests {
         c.advance(VirtualDuration::from_secs(1));
         c.reset();
         assert_eq!(c.now(), VirtualInstant::EPOCH);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let mut c = Clock::new();
+        c.advance_to_for(StallCause::PostedWindow, VirtualInstant::from_picos(10));
+        c.advance_to_for(StallCause::WbufFlush, VirtualInstant::from_picos(25));
+        c.advance_to_for(StallCause::TwoSafe, VirtualInstant::from_picos(26));
+        c.advance_to_for(StallCause::RingFull, VirtualInstant::from_picos(30));
+        c.advance_to_for(StallCause::DataVisibility, VirtualInstant::from_picos(31));
+        c.advance_to(VirtualInstant::from_picos(40));
+        let sum: u64 = c.stall_breakdown().iter().map(|d| d.as_picos()).sum();
+        assert_eq!(sum, c.stalled().as_picos());
+        assert_eq!(c.stalled_by(StallCause::PostedWindow).as_picos(), 10);
+        assert_eq!(c.stalled_by(StallCause::WbufFlush).as_picos(), 15);
+        assert_eq!(c.stalled_by(StallCause::Other).as_picos(), 9);
+    }
+
+    #[test]
+    fn cause_indices_are_dense_and_distinct() {
+        for (i, cause) in StallCause::ALL.iter().enumerate() {
+            assert_eq!(cause.index(), i);
+        }
     }
 }

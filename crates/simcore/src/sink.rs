@@ -46,6 +46,7 @@ pub trait StoreSink {
 pub struct NullSink {
     stores: u64,
     bytes: u64,
+    barriers: u64,
 }
 
 impl NullSink {
@@ -63,6 +64,12 @@ impl NullSink {
     pub fn bytes(&self) -> u64 {
         self.bytes
     }
+
+    /// Number of barriers received. Lets tests assert store ordering around
+    /// commit flags (a barrier must separate the data from the flag).
+    pub fn barriers(&self) -> u64 {
+        self.barriers
+    }
 }
 
 impl StoreSink for NullSink {
@@ -71,7 +78,9 @@ impl StoreSink for NullSink {
         self.bytes += bytes.len() as u64;
     }
 
-    fn barrier(&mut self, _clock: &mut Clock) {}
+    fn barrier(&mut self, _clock: &mut Clock) {
+        self.barriers += 1;
+    }
 }
 
 #[cfg(test)]
@@ -87,6 +96,7 @@ mod tests {
         s.barrier(&mut c);
         assert_eq!(s.stores(), 2);
         assert_eq!(s.bytes(), 20);
+        assert_eq!(s.barriers(), 1);
         assert!(c.stalled().is_zero());
     }
 }

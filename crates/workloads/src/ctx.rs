@@ -6,6 +6,7 @@
 //! staging.
 
 use dsnrep_core::{Engine, Machine, ShadowDb, TxError};
+use dsnrep_obs::{NullTracer, Tracer};
 use dsnrep_simcore::{Addr, VirtualDuration};
 
 /// A callback observing each logical write (used by the active-backup
@@ -17,14 +18,14 @@ pub type WriteObserver<'a> = &'a mut dyn FnMut(Addr, &[u8]);
 /// Forwards every operation to the engine, mirrors writes into the optional
 /// shadow, and mirrors writes to an optional observer callback (used by the
 /// active-backup driver to stage redo records).
-pub struct TxCtx<'a> {
-    machine: &'a mut Machine,
-    engine: &'a mut dyn Engine,
+pub struct TxCtx<'a, T: Tracer = NullTracer> {
+    machine: &'a mut Machine<T>,
+    engine: &'a mut dyn Engine<T>,
     shadow: Option<&'a mut ShadowDb>,
     observer: Option<WriteObserver<'a>>,
 }
 
-impl std::fmt::Debug for TxCtx<'_> {
+impl<T: Tracer> std::fmt::Debug for TxCtx<'_, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TxCtx")
             .field("engine", &self.engine.version())
@@ -34,9 +35,9 @@ impl std::fmt::Debug for TxCtx<'_> {
     }
 }
 
-impl<'a> TxCtx<'a> {
+impl<'a, T: Tracer> TxCtx<'a, T> {
     /// Creates a context without a shadow.
-    pub fn new(machine: &'a mut Machine, engine: &'a mut dyn Engine) -> Self {
+    pub fn new(machine: &'a mut Machine<T>, engine: &'a mut dyn Engine<T>) -> Self {
         TxCtx {
             machine,
             engine,

@@ -12,6 +12,7 @@
 //! paper's per-transaction volumes (Table 2 divided by the run length).
 
 use dsnrep_core::TxError;
+use dsnrep_obs::Tracer;
 use dsnrep_simcore::{Addr, Region, VirtualDuration, MIB};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -104,7 +105,7 @@ impl DebitCredit {
     }
 }
 
-impl Workload for DebitCredit {
+impl<T: Tracer> Workload<T> for DebitCredit {
     fn name(&self) -> &'static str {
         "Debit-Credit"
     }
@@ -113,7 +114,7 @@ impl Workload for DebitCredit {
         self.db
     }
 
-    fn run_txn(&mut self, ctx: &mut TxCtx<'_>) -> Result<(), TxError> {
+    fn run_txn(&mut self, ctx: &mut TxCtx<'_, T>) -> Result<(), TxError> {
         let account = self.rng.gen_range(0..self.accounts);
         let teller = self.rng.gen_range(0..self.tellers);
         let branch = teller / TELLERS_PER_BRANCH;

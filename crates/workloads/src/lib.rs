@@ -44,10 +44,15 @@ pub use order_entry::OrderEntry;
 pub use synthetic::{Synthetic, SyntheticSpec};
 
 use dsnrep_core::{Engine, Machine, TxError};
+use dsnrep_obs::{NullTracer, Tracer};
 use dsnrep_simcore::{Region, VirtualDuration};
 
 /// A transaction stream that can drive any engine.
-pub trait Workload {
+///
+/// The `T` parameter is the tracer threaded through the machine the
+/// workload runs on; it defaults to [`NullTracer`], so `dyn Workload`
+/// means the untraced workload and existing code compiles unchanged.
+pub trait Workload<T: Tracer = NullTracer> {
     /// Human-readable benchmark name.
     fn name(&self) -> &'static str;
 
@@ -59,7 +64,7 @@ pub trait Workload {
     /// # Errors
     ///
     /// Propagates engine errors; a correctly sized engine never fails.
-    fn run_txn(&mut self, ctx: &mut TxCtx<'_>) -> Result<(), TxError>;
+    fn run_txn(&mut self, ctx: &mut TxCtx<'_, T>) -> Result<(), TxError>;
 }
 
 /// Which of the paper's two benchmarks to instantiate.
@@ -77,6 +82,13 @@ impl WorkloadKind {
 
     /// Builds the workload over `db` with `seed`.
     pub fn build(self, db: Region, seed: u64) -> Box<dyn Workload> {
+        self.build_traced(db, seed)
+    }
+
+    /// Builds the workload for a machine carrying tracer `T` (the traced
+    /// twin of [`WorkloadKind::build`]; `T` cannot be inferred from the
+    /// arguments, so it is a separate method).
+    pub fn build_traced<T: Tracer + 'static>(self, db: Region, seed: u64) -> Box<dyn Workload<T>> {
         match self {
             WorkloadKind::DebitCredit => Box::new(DebitCredit::new(db, seed)),
             WorkloadKind::OrderEntry => Box::new(OrderEntry::new(db, seed)),
@@ -136,10 +148,10 @@ impl core::fmt::Display for ThroughputReport {
 /// # Panics
 ///
 /// Panics if the workload returns an engine error (a sizing bug).
-pub fn run_standalone(
-    workload: &mut dyn Workload,
-    m: &mut Machine,
-    engine: &mut dyn Engine,
+pub fn run_standalone<T: Tracer>(
+    workload: &mut dyn Workload<T>,
+    m: &mut Machine<T>,
+    engine: &mut dyn Engine<T>,
     txns: u64,
 ) -> ThroughputReport {
     let start = m.now();

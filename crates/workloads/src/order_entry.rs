@@ -13,6 +13,7 @@
 //! ring of order slots per district.
 
 use dsnrep_core::TxError;
+use dsnrep_obs::Tracer;
 use dsnrep_simcore::{Addr, Region, VirtualDuration};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -130,7 +131,7 @@ impl OrderEntry {
         )
     }
 
-    fn new_order(&mut self, ctx: &mut TxCtx<'_>) -> Result<(), TxError> {
+    fn new_order<T: Tracer>(&mut self, ctx: &mut TxCtx<'_, T>) -> Result<(), TxError> {
         let w = self.rng.gen_range(0..self.warehouses);
         let d = self.rng.gen_range(0..DISTRICTS_PER_W);
         let c = self.rng.gen_range(0..CUSTOMERS_PER_W);
@@ -185,7 +186,7 @@ impl OrderEntry {
         ctx.commit()
     }
 
-    fn payment(&mut self, ctx: &mut TxCtx<'_>) -> Result<(), TxError> {
+    fn payment<T: Tracer>(&mut self, ctx: &mut TxCtx<'_, T>) -> Result<(), TxError> {
         let w = self.rng.gen_range(0..self.warehouses);
         let d = self.rng.gen_range(0..DISTRICTS_PER_W);
         let c = self.rng.gen_range(0..CUSTOMERS_PER_W);
@@ -216,7 +217,7 @@ impl OrderEntry {
         ctx.commit()
     }
 
-    fn delivery(&mut self, ctx: &mut TxCtx<'_>) -> Result<(), TxError> {
+    fn delivery<T: Tracer>(&mut self, ctx: &mut TxCtx<'_, T>) -> Result<(), TxError> {
         let w = self.rng.gen_range(0..self.warehouses);
         let d = self.rng.gen_range(0..DISTRICTS_PER_W);
 
@@ -253,7 +254,7 @@ impl OrderEntry {
     }
 }
 
-impl Workload for OrderEntry {
+impl<T: Tracer> Workload<T> for OrderEntry {
     fn name(&self) -> &'static str {
         "Order-Entry"
     }
@@ -262,7 +263,7 @@ impl Workload for OrderEntry {
         self.db
     }
 
-    fn run_txn(&mut self, ctx: &mut TxCtx<'_>) -> Result<(), TxError> {
+    fn run_txn(&mut self, ctx: &mut TxCtx<'_, T>) -> Result<(), TxError> {
         // TPC-C's update mix, renormalized without the read-only types:
         // New-Order 49%, Payment 47%, Delivery 4%.
         let pick = self.rng.gen_range(0..100u32);

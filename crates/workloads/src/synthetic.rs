@@ -8,6 +8,7 @@
 //! overtakes logging when ranges are large but sparsely modified).
 
 use dsnrep_core::TxError;
+use dsnrep_obs::Tracer;
 use dsnrep_simcore::Region;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -95,7 +96,7 @@ impl Synthetic {
     }
 }
 
-impl Workload for Synthetic {
+impl<T: Tracer> Workload<T> for Synthetic {
     fn name(&self) -> &'static str {
         "Synthetic"
     }
@@ -104,7 +105,7 @@ impl Workload for Synthetic {
         self.db
     }
 
-    fn run_txn(&mut self, ctx: &mut TxCtx<'_>) -> Result<(), TxError> {
+    fn run_txn(&mut self, ctx: &mut TxCtx<'_, T>) -> Result<(), TxError> {
         ctx.begin()?;
         for _ in 0..self.spec.ranges_per_txn {
             let len = self.spec.range_len;

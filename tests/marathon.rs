@@ -6,9 +6,7 @@
 //! *and* availability — exercised across repeated failures rather than a
 //! single one.
 
-use dsnrep_core::{
-    audit, build_engine, Durability, EngineConfig, Machine, VersionTag,
-};
+use dsnrep_core::{audit, build_engine, Durability, EngineConfig, Machine, VersionTag};
 use dsnrep_repl::PassiveCluster;
 use dsnrep_simcore::{CostModel, MIB};
 use dsnrep_workloads::{DebitCredit, TxCtx, Workload};
@@ -50,16 +48,15 @@ fn five_generations_of_failover_lose_nothing_under_two_safe() {
     }
 
     // Reference: the same workload stream, uninterrupted, on one machine.
-    let arena = dsnrep_core::shared_arena(dsnrep_core::arena_len(
-        VersionTag::ImprovedLog,
-        &config,
-    ));
+    let arena = dsnrep_core::shared_arena(dsnrep_core::arena_len(VersionTag::ImprovedLog, &config));
     let mut m = Machine::standalone(CostModel::alpha_21164a(), arena);
     let mut engine = build_engine(VersionTag::ImprovedLog, &mut m, &config);
     let mut reference_workload = DebitCredit::new(engine.db_region(), 0xCAFE);
     for _ in 0..GENERATIONS * TXNS_PER_GENERATION {
         let mut ctx = TxCtx::new(&mut m, engine.as_mut());
-        reference_workload.run_txn(&mut ctx).expect("reference transaction");
+        reference_workload
+            .run_txn(&mut ctx)
+            .expect("reference transaction");
     }
 
     let db = engine.db_region();

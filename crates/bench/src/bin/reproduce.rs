@@ -314,6 +314,11 @@ fn main() {
             let run = traced_run(scheme, WorkloadKind::DebitCredit, txns, 10 * MIB, false);
             assert!(run.passed(), "trace run failed its audit");
             println!("### {label}\n\n```json\n{}\n```\n", run.summary.to_json());
+            println!(
+                "Where the virtual time went (leaves sum to each node's\n\
+                 elapsed time — checked):\n\n```\n{}```\n",
+                run.attribution.render_text()
+            );
         }
     }
 }

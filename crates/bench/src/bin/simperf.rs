@@ -1,7 +1,7 @@
-//! Wall-clock self-benchmark of the simulator (real time, not virtual
-//! time): how many simulated transactions per second of host CPU the
-//! pipeline sustains. Emits one JSON object on stdout so CI can archive the
-//! numbers and regressions show up as a trend break.
+//! Self-benchmark of the simulator: wall-clock throughput (host CPU,
+//! non-deterministic) plus the **deterministic virtual-time footprint** of
+//! each scenario. Emits one JSON object on stdout; CI diffs it against the
+//! blessed baseline in `crates/bench/baselines/simperf.json` with `simdiff`.
 //!
 //! ```text
 //! cargo run --release -p dsnrep-bench --bin simperf
@@ -14,29 +14,66 @@
 //! propagation (the unmerged word-at-a-time path), and the active redo
 //! ring. `sim_txns_per_wallclock_sec` is the headline aggregate: total
 //! simulated transactions across all scenarios over total wall time.
+//!
+//! Key-naming contract, relied on by `simdiff`'s gating rules: every metric
+//! whose value depends on host timing carries `wall` in its key (compared
+//! with a tolerance band, non-gating); everything else is pure virtual-time
+//! arithmetic and must be **bit-exact** across runs and machines.
 
 use std::time::Instant;
 
 use dsnrep_core::{build_engine, EngineConfig, Machine, VersionTag};
+use dsnrep_mcsim::Traffic;
 use dsnrep_repl::{ActiveCluster, PassiveCluster};
-use dsnrep_simcore::{CostModel, MIB};
+use dsnrep_simcore::{CostModel, TrafficClass, MIB};
 use dsnrep_workloads::{run_standalone, WorkloadKind};
 
 const DB: u64 = 50 * MIB;
 const SEED: u64 = 42;
 
-/// Bumped whenever the shape of the emitted JSON changes, so scripts that
-/// trend the numbers across CI runs can detect a format break instead of
-/// silently misparsing.
-const SCHEMA_VERSION: u32 = 2;
+/// Bumped whenever the shape of the emitted JSON changes, so `simdiff` (and
+/// any script trending the numbers across CI runs) can refuse a comparison
+/// instead of silently misparsing.
+///
+/// v3: added the per-scenario `virtual` block (elapsed_ps, tps, packets,
+/// per-class bytes) and renamed the per-scenario wall-throughput key to
+/// `sim_txns_per_wall_sec` so every host-time metric contains `wall`.
+const SCHEMA_VERSION: u32 = 3;
+
+/// The deterministic virtual-time footprint of one scenario. Identical
+/// costs, seed and transaction count must reproduce these bit-for-bit.
+#[derive(Default)]
+struct VirtMetrics {
+    elapsed_ps: u64,
+    tps: f64,
+    packets: u64,
+    modified_bytes: u64,
+    undo_bytes: u64,
+    meta_bytes: u64,
+}
+
+impl VirtMetrics {
+    fn from_traffic(elapsed_ps: u64, tps: f64, traffic: &Traffic) -> Self {
+        VirtMetrics {
+            elapsed_ps,
+            tps,
+            packets: traffic.total_packets(),
+            modified_bytes: traffic.bytes(TrafficClass::Modified),
+            undo_bytes: traffic.bytes(TrafficClass::Undo),
+            meta_bytes: traffic.bytes(TrafficClass::Meta),
+        }
+    }
+}
 
 /// One scenario's result: simulated transactions per wall-clock second,
-/// plus the wall time the scenario itself consumed (the per-scenario
-/// breakdown lets a regression be pinned to a hot path without rerunning).
+/// the wall time the scenario consumed (the per-scenario breakdown lets a
+/// regression be pinned to a hot path without rerunning), and the virtual
+/// footprint `simdiff` gates on.
 struct Scenario {
     name: &'static str,
-    txns_per_sec: f64,
+    txns_per_wall_sec: f64,
     wall_secs: f64,
+    virt: VirtMetrics,
 }
 
 fn txns_per_scenario() -> u64 {
@@ -46,44 +83,68 @@ fn txns_per_scenario() -> u64 {
         .unwrap_or(50_000)
 }
 
-fn timed(name: &'static str, txns: u64, body: impl FnOnce()) -> Scenario {
-    let t0 = Instant::now();
-    body();
-    let wall_secs = t0.elapsed().as_secs_f64();
-    Scenario {
-        name,
-        txns_per_sec: txns as f64 / wall_secs,
-        wall_secs,
-    }
-}
-
 fn standalone_scenario(name: &'static str, version: VersionTag, txns: u64) -> Scenario {
     let config = EngineConfig::for_db(DB);
     let arena = dsnrep_core::shared_arena(dsnrep_core::arena_len(version, &config));
     let mut m = Machine::standalone(CostModel::alpha_21164a(), arena);
     let mut engine = build_engine(version, &mut m, &config);
     let mut workload = WorkloadKind::DebitCredit.build(engine.db_region(), SEED);
-    timed(name, txns, || {
-        run_standalone(workload.as_mut(), &mut m, engine.as_mut(), txns);
-    })
+    let t0 = Instant::now();
+    let report = run_standalone(workload.as_mut(), &mut m, engine.as_mut(), txns);
+    let wall_secs = t0.elapsed().as_secs_f64();
+    Scenario {
+        name,
+        txns_per_wall_sec: txns as f64 / wall_secs,
+        wall_secs,
+        virt: VirtMetrics {
+            // A standalone machine has no SAN port: no packets, no bytes.
+            elapsed_ps: report.elapsed.as_picos(),
+            tps: report.tps(),
+            ..Default::default()
+        },
+    }
 }
 
 fn passive_scenario(name: &'static str, version: VersionTag, txns: u64) -> Scenario {
     let config = EngineConfig::for_db(DB);
     let mut cluster = PassiveCluster::new(CostModel::alpha_21164a(), version, &config);
     let mut workload = WorkloadKind::DebitCredit.build(cluster.engine().db_region(), SEED);
-    timed(name, txns, || {
-        cluster.run(workload.as_mut(), txns);
-    })
+    let t0 = Instant::now();
+    let report = cluster.run(workload.as_mut(), txns);
+    let wall_secs = t0.elapsed().as_secs_f64();
+    // Drain in-flight writes (untimed: deterministic virtual work only)
+    // so the traffic counters cover the whole run.
+    cluster.quiesce();
+    Scenario {
+        name,
+        txns_per_wall_sec: txns as f64 / wall_secs,
+        wall_secs,
+        virt: VirtMetrics::from_traffic(
+            cluster.machine().stats().elapsed.as_picos(),
+            report.tps(),
+            &cluster.traffic(),
+        ),
+    }
 }
 
 fn active_scenario(name: &'static str, txns: u64) -> Scenario {
     let config = EngineConfig::for_db(DB);
     let mut cluster = ActiveCluster::new(CostModel::alpha_21164a(), &config);
     let mut workload = WorkloadKind::DebitCredit.build(cluster.db_region(), SEED);
-    timed(name, txns, || {
-        cluster.run(workload.as_mut(), txns);
-    })
+    let t0 = Instant::now();
+    let report = cluster.run(workload.as_mut(), txns);
+    let wall_secs = t0.elapsed().as_secs_f64();
+    cluster.settle();
+    Scenario {
+        name,
+        txns_per_wall_sec: txns as f64 / wall_secs,
+        wall_secs,
+        virt: VirtMetrics::from_traffic(
+            cluster.machine().stats().elapsed.as_picos(),
+            report.tps(),
+            &cluster.traffic(),
+        ),
+    }
 }
 
 fn main() {
@@ -112,10 +173,22 @@ fn main() {
     println!("  \"scenarios\": {{");
     for (i, s) in scenarios.iter().enumerate() {
         let comma = if i + 1 < scenarios.len() { "," } else { "" };
+        println!("    \"{}\": {{", s.name);
         println!(
-            "    \"{}\": {{\"sim_txns_per_sec\": {:.0}, \"wall_secs\": {:.3}}}{comma}",
-            s.name, s.txns_per_sec, s.wall_secs
+            "      \"sim_txns_per_wall_sec\": {:.0}, \"wall_secs\": {:.3},",
+            s.txns_per_wall_sec, s.wall_secs
         );
+        println!(
+            "      \"virtual\": {{\"elapsed_ps\": {}, \"tps\": {:.3}, \"packets\": {}, \
+             \"modified_bytes\": {}, \"undo_bytes\": {}, \"meta_bytes\": {}}}",
+            s.virt.elapsed_ps,
+            s.virt.tps,
+            s.virt.packets,
+            s.virt.modified_bytes,
+            s.virt.undo_bytes,
+            s.virt.meta_bytes
+        );
+        println!("    }}{comma}");
     }
     println!("  }}");
     println!("}}");

@@ -8,6 +8,10 @@
 //!   line, for ad-hoc scripting.
 //! * `summary.json` — commit-latency histogram, stall attribution and the
 //!   per-track traffic-class matrix (also printed to stdout).
+//! * `attribution.json` — the per-node virtual-time attribution tree
+//!   (CPU issue / cache / SAN by class / stalls by cause), whose leaves
+//!   provably sum to each node's total virtual time; rendered as an
+//!   indented text tree on stderr.
 //!
 //! If the post-run audit finds a violation (or takeover recovery fails),
 //! the flight-recorder ring is still dumped — that dump *is* the crash
@@ -113,12 +117,16 @@ fn main() -> ExitCode {
             .expect("write events.jsonl");
         std::fs::write(dir.join("summary.json"), run.summary.to_json())
             .expect("write summary.json");
+        std::fs::write(dir.join("attribution.json"), run.attribution.to_json())
+            .expect("write attribution.json");
         eprintln!(
-            "wrote {}/trace.json (load in https://ui.perfetto.dev), events.jsonl, summary.json",
+            "wrote {}/trace.json (load in https://ui.perfetto.dev), events.jsonl, \
+             summary.json, attribution.json",
             dir.display()
         );
     }
     println!("{}", run.summary.to_json());
+    eprint!("{}", run.attribution.render_text());
 
     match &run.violation {
         None => ExitCode::SUCCESS,

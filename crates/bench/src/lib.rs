@@ -15,7 +15,9 @@
 #![warn(missing_debug_implementations)]
 
 mod chart;
+pub mod diff;
 pub mod experiments;
+pub mod json;
 pub mod paper;
 mod report;
 pub mod trace;

@@ -9,7 +9,8 @@
 
 use dsnrep_core::{audit, AuditViolation, EngineConfig, MachineStats, VersionTag};
 use dsnrep_obs::{
-    FlightRecorder, TraceEventKind, TraceSummary, Tracer, TRACK_BACKUP, TRACK_PRIMARY,
+    AttributionTree, ClockAttribution, FlightRecorder, TraceEventKind, TraceSummary, Tracer,
+    TRACK_BACKUP, TRACK_PRIMARY,
 };
 use dsnrep_repl::{ActiveCluster, PassiveCluster};
 use dsnrep_workloads::WorkloadKind;
@@ -33,6 +34,24 @@ impl TracedScheme {
             TracedScheme::Active => VersionTag::ImprovedLog,
         }
     }
+
+    /// Stable label for the replication driver ("passive" / "active").
+    pub fn driver_name(self) -> &'static str {
+        match self {
+            TracedScheme::Passive(_) => "passive",
+            TracedScheme::Active => "active",
+        }
+    }
+
+    /// Stable label for the engine version ("v0".."v3").
+    pub fn version_name(self) -> &'static str {
+        match self.version() {
+            VersionTag::Vista => "v0",
+            VersionTag::MirrorCopy => "v1",
+            VersionTag::MirrorDiff => "v2",
+            VersionTag::ImprovedLog => "v3",
+        }
+    }
 }
 
 /// Everything a traced run produced.
@@ -42,6 +61,8 @@ pub struct TracedRun {
     pub recorder: FlightRecorder,
     /// Summary statistics with the stall breakdown already attached.
     pub summary: TraceSummary,
+    /// Per-node virtual-time attribution tree, conservation-checked.
+    pub attribution: AttributionTree,
     /// Primary throughput over the failure-free portion, TPS.
     pub tps: f64,
     /// `Some(violation)` if the post-run arena audit failed.
@@ -68,6 +89,33 @@ fn attach_stalls(
     }
 }
 
+fn clock_attribution(stats: &MachineStats) -> ClockAttribution {
+    ClockAttribution::from_durations(stats.elapsed, stats.busy_breakdown, stats.stall_breakdown)
+}
+
+/// Builds the per-node attribution tree for a finished run and checks the
+/// conservation invariant: every node's leaves must sum to its elapsed
+/// virtual time. A failure here means a charge path bypassed the clock's
+/// cause accounting — a bug worth panicking over in a diagnostic tool.
+pub fn build_attribution(
+    experiment: &str,
+    scheme: TracedScheme,
+    recorder: &FlightRecorder,
+    primary: &MachineStats,
+    backup: Option<&MachineStats>,
+) -> AttributionTree {
+    let mut tree = AttributionTree::new(experiment, scheme.version_name());
+    tree.add_node("primary", TRACK_PRIMARY, clock_attribution(primary));
+    if let Some(b) = backup {
+        tree.add_node("backup", TRACK_BACKUP, clock_attribution(b));
+    }
+    tree.fold_recorder(recorder);
+    if let Err(e) = tree.verify_conservation() {
+        panic!("virtual-time attribution leak: {e}");
+    }
+    tree
+}
+
 /// Runs `txns` transactions of `kind` under `scheme` with a flight
 /// recorder attached to every machine and port. With `crash`, the primary
 /// is crashed afterwards and the backup's takeover is traced too; the
@@ -80,7 +128,7 @@ pub fn traced_run(
     db_len: u64,
     crash: bool,
 ) -> TracedRun {
-    let recorder = FlightRecorder::new();
+    let recorder = FlightRecorder::from_env();
     recorder.set_track_name(TRACK_PRIMARY, "primary");
     recorder.set_track_name(TRACK_BACKUP, "backup");
     let config = EngineConfig::for_db(db_len);
@@ -160,9 +208,23 @@ pub fn traced_run(
     };
     let mut summary = recorder.summary();
     attach_stalls(&mut summary, &primary_stats, backup_stats.as_ref());
+    let experiment = format!(
+        "{}-{}{}",
+        scheme.driver_name(),
+        scheme.version_name(),
+        if crash { "-crash" } else { "" }
+    );
+    let attribution = build_attribution(
+        &experiment,
+        scheme,
+        &recorder,
+        &primary_stats,
+        backup_stats.as_ref(),
+    );
     TracedRun {
         recorder,
         summary,
+        attribution,
         tps,
         violation,
         recovery_picos,

@@ -21,8 +21,8 @@ use dsnrep_mcsim::TxPort;
 use dsnrep_obs::{NullTracer, Phase, TraceEventKind, Tracer};
 use dsnrep_rio::{AllocMem, Arena};
 use dsnrep_simcore::{
-    Addr, CacheOutcome, Clock, CostModel, DirectMappedCache, Region, StallCause, StoreSink,
-    TrafficClass, VirtualDuration, VirtualInstant,
+    Addr, BusyCause, CacheOutcome, Clock, CostModel, DirectMappedCache, Region, StallCause,
+    StoreSink, TrafficClass, VirtualDuration, VirtualInstant,
 };
 
 /// When a commit may return (Gray & Reuter's taxonomy, paper §2.1).
@@ -44,12 +44,18 @@ pub enum Durability {
 pub struct MachineStats {
     /// Current virtual time.
     pub now: VirtualInstant,
+    /// Virtual time elapsed since the clock's origin. Always equals the
+    /// sum of `busy_breakdown` plus the sum of `stall_breakdown`.
+    pub elapsed: VirtualDuration,
     /// Time spent stalled on shared resources (posted-write window, redo
     /// ring, 2-safe waits). Always equals the sum of `stall_breakdown`.
     pub stalled: VirtualDuration,
     /// Stall time attributed per [`StallCause`], indexed by
     /// [`StallCause::index`].
     pub stall_breakdown: [VirtualDuration; StallCause::COUNT],
+    /// Busy time attributed per [`BusyCause`], indexed by
+    /// [`BusyCause::index`].
+    pub busy_breakdown: [VirtualDuration; BusyCause::COUNT],
     /// Cumulative cache hits.
     pub cache_hits: u64,
     /// Cumulative cache misses.
@@ -265,8 +271,10 @@ impl<T: Tracer> Machine<T> {
     #[inline]
     fn charge_cache(&mut self, addr: Addr, len: u64) {
         let out = self.cache.touch(addr, len);
-        self.clock
-            .advance(self.costs.cache_hit * out.hits + self.costs.cache_miss * out.misses);
+        self.clock.advance_for(
+            BusyCause::Cache,
+            self.costs.cache_hit * out.hits + self.costs.cache_miss * out.misses,
+        );
     }
 
     #[inline]
@@ -410,8 +418,10 @@ impl<T: Tracer> Machine<T> {
         let cache = self.cache.stats();
         MachineStats {
             now: self.clock.now(),
+            elapsed: self.clock.elapsed(),
             stalled: self.clock.stalled(),
             stall_breakdown: self.clock.stall_breakdown(),
+            busy_breakdown: self.clock.busy_breakdown(),
             cache_hits: cache.hits,
             cache_misses: cache.misses,
         }

@@ -19,7 +19,8 @@ use std::rc::Rc;
 use dsnrep_obs::{NullTracer, Tracer};
 use dsnrep_rio::Arena;
 use dsnrep_simcore::{
-    Addr, Clock, CostModel, StallCause, StoreSink, TrafficClass, VirtualDuration, VirtualInstant,
+    Addr, BusyCause, Clock, CostModel, StallCause, StoreSink, TrafficClass, VirtualDuration,
+    VirtualInstant,
 };
 
 use crate::link::Link;
@@ -241,10 +242,10 @@ impl<T: Tracer> TxPort<T> {
         if bytes.is_empty() {
             return;
         }
-        clock.advance(crate::io_issue_time(
-            self.io_store_issue,
-            bytes.len() as u64,
-        ));
+        clock.advance_for(
+            BusyCause::san(class),
+            crate::io_issue_time(self.io_store_issue, bytes.len() as u64),
+        );
         // Emit one packet per 8-byte-aligned word run, bypassing the
         // write buffers — but first flush any buffer holding the same
         // block, so same-address stores stay ordered on the wire.
@@ -339,10 +340,10 @@ impl<T: Tracer> StoreSink for TxPort<T> {
         if bytes.is_empty() {
             return;
         }
-        clock.advance(crate::io_issue_time(
-            self.io_store_issue,
-            bytes.len() as u64,
-        ));
+        clock.advance_for(
+            BusyCause::san(class),
+            crate::io_issue_time(self.io_store_issue, bytes.len() as u64),
+        );
         let TxPort { bufs, tx, .. } = self;
         tx.stall_cause = StallCause::PostedWindow;
         bufs.store(addr, bytes, class, &mut |flushed| tx.emit(clock, flushed));

@@ -87,10 +87,16 @@ impl FlightRecorder {
         out
     }
 
-    /// Renders the ring as JSONL: one JSON object per line, spans first
-    /// (oldest first), then point events. Times are virtual picoseconds.
+    /// Renders the ring as JSONL: a header line carrying the schema version,
+    /// then one JSON object per line, spans first (oldest first), then point
+    /// events. Times are virtual picoseconds.
     pub fn events_jsonl(&self) -> String {
         let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"header\",\"schema_version\":{}}}",
+            crate::TRACE_SCHEMA_VERSION
+        );
         self.with_inner_records(|spans, instants| {
             for s in spans {
                 let _ = writeln!(
@@ -166,11 +172,16 @@ mod tests {
         rec.instant(1, TraceEventKind::FailoverComplete, at(20), 3);
         let jsonl = rec.events_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
-        assert_eq!(lines.len(), 2);
-        assert!(lines[0].contains("\"type\":\"span\""));
-        assert!(lines[0].contains("\"phase\":\"commit\""));
-        assert!(lines[1].contains("\"type\":\"event\""));
-        assert!(lines[1].contains("\"kind\":\"failover_complete\""));
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"type\":\"header\""));
+        assert!(lines[0].contains(&format!(
+            "\"schema_version\":{}",
+            crate::TRACE_SCHEMA_VERSION
+        )));
+        assert!(lines[1].contains("\"type\":\"span\""));
+        assert!(lines[1].contains("\"phase\":\"commit\""));
+        assert!(lines[2].contains("\"type\":\"event\""));
+        assert!(lines[2].contains("\"kind\":\"failover_complete\""));
         for line in lines {
             assert!(line.starts_with('{') && line.ends_with('}'));
         }
@@ -181,6 +192,12 @@ mod tests {
         let rec = FlightRecorder::new();
         let json = rec.chrome_trace_json();
         assert_eq!(json, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}");
-        assert_eq!(rec.events_jsonl(), "");
+        assert_eq!(
+            rec.events_jsonl(),
+            format!(
+                "{{\"type\":\"header\",\"schema_version\":{}}}\n",
+                crate::TRACE_SCHEMA_VERSION
+            )
+        );
     }
 }

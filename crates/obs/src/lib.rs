@@ -43,11 +43,15 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod attribution;
 mod chrome;
 mod recorder;
 mod summary;
 mod tracer;
 
+pub use attribution::{
+    AttributionTree, ClockAttribution, ConservationError, NodeAttribution, PhaseProfile,
+};
 pub use recorder::{FlightRecorder, InstantRecord, PacketRecord, SpanRecord};
 pub use summary::{TraceSummary, TrackSummary};
 pub use tracer::{NullTracer, Phase, TraceEventKind, Tracer};
@@ -57,6 +61,15 @@ pub const TRACK_PRIMARY: u32 = 0;
 
 /// Conventional track id for a cluster's (first) backup node.
 pub const TRACK_BACKUP: u32 = 1;
+
+/// Schema version stamped into every trace artifact this crate renders
+/// (`summary.json`, the `events.jsonl` header line, `attribution.json`).
+///
+/// Bumped whenever a key is renamed, removed, or changes meaning, so
+/// `simdiff` can refuse to compare artifacts whose shapes diverged instead
+/// of silently misreading them (the same contract `simperf` keeps with its
+/// own `schema_version`).
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
 
 /// Escapes a string for inclusion inside a JSON string literal.
 pub(crate) fn json_escape(s: &str) -> String {

@@ -138,6 +138,21 @@ impl FlightRecorder {
         FlightRecorder::with_capacity(Self::DEFAULT_CAPACITY)
     }
 
+    /// Creates a recorder whose ring capacity honors the
+    /// `DSNREP_TRACE_CAP` environment variable (records; falls back to
+    /// [`FlightRecorder::DEFAULT_CAPACITY`] when unset or unparsable).
+    /// Raise it when attribution inputs must not be truncated by the
+    /// drop-oldest ring; the summary's `ring` section reports whether any
+    /// record was dropped.
+    pub fn from_env() -> Self {
+        let capacity = std::env::var("DSNREP_TRACE_CAP")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(Self::DEFAULT_CAPACITY);
+        FlightRecorder::with_capacity(capacity)
+    }
+
     /// Creates a recorder whose span ring holds at most `capacity` records
     /// (instants share the same bound; counters are unbounded).
     ///
@@ -192,6 +207,16 @@ impl FlightRecorder {
         self.inner.borrow().dropped_spans
     }
 
+    /// Number of point events dropped because the ring was full.
+    pub fn dropped_instants(&self) -> u64 {
+        self.inner.borrow().dropped_instants
+    }
+
+    /// The ring capacity (records per ring: spans and instants each).
+    pub fn capacity(&self) -> usize {
+        self.inner.borrow().capacity
+    }
+
     /// Total transactions whose `Txn` span was recorded (counted even if the
     /// span itself has since been dropped from the ring).
     pub fn txns(&self) -> u64 {
@@ -244,9 +269,11 @@ impl FlightRecorder {
             txns: inner.txns,
             commit_latency_log2: inner.commit_latency_log2.to_vec(),
             tracks,
+            ring_capacity: inner.capacity as u64,
             spans_recorded: inner.spans.len() as u64,
             spans_dropped: inner.dropped_spans,
             events: inner.instants.len() as u64,
+            events_dropped: inner.dropped_instants,
             stall_picos: Vec::new(),
         }
     }

@@ -33,12 +33,16 @@ pub struct TraceSummary {
     pub commit_latency_log2: Vec<u64>,
     /// Per-track traffic-class matrix.
     pub tracks: Vec<TrackSummary>,
+    /// The recorder's ring capacity (records per ring).
+    pub ring_capacity: u64,
     /// Spans currently held in the ring.
     pub spans_recorded: u64,
     /// Spans dropped because the ring was full.
     pub spans_dropped: u64,
     /// Point events currently held in the ring.
     pub events: u64,
+    /// Point events dropped because the ring was full.
+    pub events_dropped: u64,
     /// Named per-cause stall totals in picoseconds, one entry per stream
     /// (`(stream_name, breakdown)`), empty until [`set_stalls`] is called.
     ///
@@ -57,9 +61,54 @@ impl TraceSummary {
         self.stall_picos.push((stream.to_string(), picos));
     }
 
+    /// The commit-latency percentile at `q` (in `(0, 1]`), as the lower
+    /// bound in picoseconds of the log₂ bucket containing the `q`-th
+    /// quantile transaction (the same `ge_picos` value the JSON reports).
+    /// `None` when no transaction was recorded.
+    ///
+    /// The histogram is log-bucketed, so the answer is exact to within one
+    /// power of two — enough to compare tail behaviour across runs without
+    /// keeping every sample.
+    pub fn commit_latency_percentile(&self, q: f64) -> Option<u64> {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1], got {q}");
+        // u128 accumulation: counts are u64 per bucket, and a saturated
+        // histogram can overflow a u64 total.
+        let total: u128 = self.commit_latency_log2.iter().map(|&c| c as u128).sum();
+        if total == 0 {
+            return None;
+        }
+        // Rank of the quantile sample, 1-based: ceil(q * total), clamped.
+        let rank = ((q * total as f64).ceil() as u128).clamp(1, total);
+        let mut seen: u128 = 0;
+        for (bucket, &count) in self.commit_latency_log2.iter().enumerate() {
+            seen += count as u128;
+            if seen >= rank {
+                return Some(1u64 << bucket.min(63));
+            }
+        }
+        unreachable!("rank {rank} exceeds total {total}")
+    }
+
+    /// The (p50, p95, p99) commit-latency percentiles, or `None` when no
+    /// transaction was recorded. See
+    /// [`TraceSummary::commit_latency_percentile`] for the bucket
+    /// semantics.
+    pub fn commit_latency_percentiles(&self) -> Option<(u64, u64, u64)> {
+        Some((
+            self.commit_latency_percentile(0.50)?,
+            self.commit_latency_percentile(0.95)?,
+            self.commit_latency_percentile(0.99)?,
+        ))
+    }
+
     /// Renders the summary as one pretty-printed JSON object.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
+        let _ = writeln!(
+            out,
+            "  \"schema_version\": {},",
+            crate::TRACE_SCHEMA_VERSION
+        );
         let _ = writeln!(out, "  \"txns\": {},", self.txns);
         out.push_str("  \"commit_latency_log2\": [");
         let mut first = true;
@@ -78,6 +127,13 @@ impl TraceSummary {
             );
         }
         out.push_str("\n  ],\n");
+        if let Some((p50, p95, p99)) = self.commit_latency_percentiles() {
+            let _ = writeln!(
+                out,
+                "  \"commit_latency_percentiles\": \
+                 {{\"p50_ge_picos\": {p50}, \"p95_ge_picos\": {p95}, \"p99_ge_picos\": {p99}}},"
+            );
+        }
         out.push_str("  \"tracks\": [");
         for (i, t) in self.tracks.iter().enumerate() {
             if i > 0 {
@@ -112,8 +168,13 @@ impl TraceSummary {
         out.push_str("\n  },\n");
         let _ = writeln!(
             out,
-            "  \"ring\": {{\"spans\": {}, \"dropped\": {}, \"events\": {}}}",
-            self.spans_recorded, self.spans_dropped, self.events
+            "  \"ring\": {{\"capacity\": {}, \"spans\": {}, \"dropped_spans\": {}, \
+             \"events\": {}, \"dropped_events\": {}}}",
+            self.ring_capacity,
+            self.spans_recorded,
+            self.spans_dropped,
+            self.events,
+            self.events_dropped
         );
         out.push('}');
         out
@@ -153,6 +214,91 @@ mod tests {
         assert!(json.contains("\"two_safe\": 31"));
         assert!(json.contains("\"total\": 42"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    fn summary_with_histogram(buckets: &[(usize, u64)]) -> TraceSummary {
+        let mut s = FlightRecorder::new().summary();
+        for &(bucket, count) in buckets {
+            s.commit_latency_log2[bucket] = count;
+        }
+        s.txns = s
+            .commit_latency_log2
+            .iter()
+            .fold(0u64, |acc, &c| acc.saturating_add(c));
+        s
+    }
+
+    #[test]
+    fn percentiles_of_empty_histogram_are_none() {
+        let s = summary_with_histogram(&[]);
+        assert_eq!(s.commit_latency_percentile(0.5), None);
+        assert_eq!(s.commit_latency_percentiles(), None);
+    }
+
+    #[test]
+    fn percentiles_of_single_bucket_all_land_there() {
+        let s = summary_with_histogram(&[(10, 1_000)]);
+        assert_eq!(s.commit_latency_percentiles(), Some((1024, 1024, 1024)));
+    }
+
+    #[test]
+    fn percentiles_split_across_buckets() {
+        // 90 txns in bucket 8, 9 in bucket 12, 1 in bucket 20.
+        let s = summary_with_histogram(&[(8, 90), (12, 9), (20, 1)]);
+        assert_eq!(s.commit_latency_percentile(0.50), Some(1 << 8));
+        assert_eq!(s.commit_latency_percentile(0.90), Some(1 << 8));
+        assert_eq!(s.commit_latency_percentile(0.95), Some(1 << 12));
+        assert_eq!(s.commit_latency_percentile(0.99), Some(1 << 12));
+        assert_eq!(s.commit_latency_percentile(1.0), Some(1 << 20));
+    }
+
+    #[test]
+    fn percentiles_survive_saturating_counts() {
+        // Two buckets whose counts sum past u64::MAX: the u128 walk must
+        // not overflow, and the top bucket's lower bound must not shift.
+        let s = summary_with_histogram(&[(0, u64::MAX), (63, u64::MAX)]);
+        assert_eq!(s.commit_latency_percentile(0.25), Some(1));
+        assert_eq!(s.commit_latency_percentile(0.75), Some(1u64 << 63));
+        assert_eq!(s.commit_latency_percentile(1.0), Some(1u64 << 63));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0, 1]")]
+    fn percentile_rejects_out_of_range_quantile() {
+        let s = summary_with_histogram(&[(0, 1)]);
+        let _ = s.commit_latency_percentile(0.0);
+    }
+
+    #[test]
+    fn json_reports_schema_ring_and_percentiles() {
+        let rec = FlightRecorder::with_capacity(2);
+        for i in 0..3u64 {
+            rec.span(
+                0,
+                Phase::Txn,
+                VirtualInstant::from_picos(0),
+                VirtualInstant::from_picos(1024 + i),
+            );
+            rec.instant(
+                0,
+                crate::TraceEventKind::PrimaryCrash,
+                VirtualInstant::from_picos(i),
+                0,
+            );
+        }
+        let json = rec.summary().to_json();
+        assert!(json.contains(&format!(
+            "\"schema_version\": {}",
+            crate::TRACE_SCHEMA_VERSION
+        )));
+        assert!(json.contains(
+            "\"commit_latency_percentiles\": \
+             {\"p50_ge_picos\": 1024, \"p95_ge_picos\": 1024, \"p99_ge_picos\": 1024}"
+        ));
+        assert!(json.contains(
+            "\"ring\": {\"capacity\": 2, \"spans\": 2, \"dropped_spans\": 1, \
+             \"events\": 2, \"dropped_events\": 1}"
+        ));
     }
 
     #[test]

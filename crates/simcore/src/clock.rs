@@ -69,6 +69,77 @@ impl core::fmt::Display for StallCause {
     }
 }
 
+/// Where a clock's *busy* time went: the cost category of an
+/// [`Clock::advance`]/[`Clock::advance_for`] charge.
+///
+/// Together with [`StallCause`] this makes the clock self-attributing:
+/// every picosecond of [`Clock::elapsed`] is either busy time charged under
+/// exactly one `BusyCause` or stall time charged under exactly one
+/// `StallCause`, so `elapsed == Σ busy_breakdown + Σ stall_breakdown` holds
+/// by construction. The attribution layer (`dsnrep-obs`) builds its tree on
+/// that invariant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BusyCause {
+    /// Ordinary CPU work: instruction issue, fixed per-operation engine
+    /// costs, workload think time.
+    CpuIssue,
+    /// Cache-model time: hit and miss service charged per accounted access.
+    Cache,
+    /// I/O-space store issue for doubled *modified data* payloads.
+    SanModified,
+    /// I/O-space store issue for doubled *undo log* payloads.
+    SanUndo,
+    /// I/O-space store issue for doubled *meta-data* payloads.
+    SanMeta,
+}
+
+impl BusyCause {
+    /// Every cause, in the order used by [`Clock::busy_breakdown`].
+    pub const ALL: [BusyCause; 5] = [
+        BusyCause::CpuIssue,
+        BusyCause::Cache,
+        BusyCause::SanModified,
+        BusyCause::SanUndo,
+        BusyCause::SanMeta,
+    ];
+
+    /// Number of causes (length of [`BusyCause::ALL`]).
+    pub const COUNT: usize = 5;
+
+    /// The SAN-issue cause for a doubled store of `class` payload.
+    #[inline]
+    pub const fn san(class: crate::TrafficClass) -> BusyCause {
+        match class {
+            crate::TrafficClass::Modified => BusyCause::SanModified,
+            crate::TrafficClass::Undo => BusyCause::SanUndo,
+            crate::TrafficClass::Meta => BusyCause::SanMeta,
+        }
+    }
+
+    /// Index of this cause into a per-cause array (dense, 0-based).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// A stable lower-snake-case name for reports and JSON keys.
+    pub const fn name(self) -> &'static str {
+        match self {
+            BusyCause::CpuIssue => "cpu_issue",
+            BusyCause::Cache => "cache",
+            BusyCause::SanModified => "san_modified",
+            BusyCause::SanUndo => "san_undo",
+            BusyCause::SanMeta => "san_meta",
+        }
+    }
+}
+
+impl core::fmt::Display for BusyCause {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A monotone virtual clock owned by one simulated processor (stream).
 ///
 /// Every cost in the simulation is charged by advancing a clock. Stalls on
@@ -92,8 +163,10 @@ impl core::fmt::Display for StallCause {
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Clock {
     now: VirtualInstant,
+    origin: VirtualInstant,
     stalled: VirtualDuration,
     by_cause: [VirtualDuration; StallCause::COUNT],
+    busy_by_cause: [VirtualDuration; BusyCause::COUNT],
 }
 
 impl Clock {
@@ -106,6 +179,7 @@ impl Clock {
     pub fn starting_at(at: VirtualInstant) -> Self {
         Clock {
             now: at,
+            origin: at,
             ..Clock::default()
         }
     }
@@ -116,10 +190,34 @@ impl Clock {
         self.now
     }
 
-    /// Advances the clock by `d` (charging a cost).
+    /// The instant this clock started counting (the `at` of
+    /// [`Clock::starting_at`]; the epoch otherwise).
+    #[inline]
+    pub fn origin(&self) -> VirtualInstant {
+        self.origin
+    }
+
+    /// Virtual time elapsed since the origin. Always equals
+    /// `busy() + stalled()`: every elapsed picosecond is attributed.
+    #[inline]
+    pub fn elapsed(&self) -> VirtualDuration {
+        self.now.duration_since(self.origin)
+    }
+
+    /// Advances the clock by `d`, attributing the charge to
+    /// [`BusyCause::CpuIssue`]. Callers charging cache or SAN-issue time
+    /// should use [`Clock::advance_for`] so the busy breakdown stays
+    /// meaningful.
     #[inline]
     pub fn advance(&mut self, d: VirtualDuration) {
+        self.advance_for(BusyCause::CpuIssue, d);
+    }
+
+    /// Advances the clock by `d`, attributing the charge to `cause`.
+    #[inline]
+    pub fn advance_for(&mut self, cause: BusyCause, d: VirtualDuration) {
         self.now += d;
+        self.busy_by_cause[cause.index()] += d;
     }
 
     /// Jumps the clock forward to `t` if `t` is in the future, recording the
@@ -164,6 +262,26 @@ impl Clock {
     #[inline]
     pub fn stall_breakdown(&self) -> [VirtualDuration; StallCause::COUNT] {
         self.by_cause
+    }
+
+    /// Total busy (non-stalled) time since the origin. Always equals the
+    /// sum of [`Clock::busy_breakdown`].
+    #[inline]
+    pub fn busy(&self) -> VirtualDuration {
+        self.elapsed() - self.stalled
+    }
+
+    /// Busy time attributed to one cause.
+    #[inline]
+    pub fn busy_by(&self, cause: BusyCause) -> VirtualDuration {
+        self.busy_by_cause[cause.index()]
+    }
+
+    /// The full per-cause busy breakdown, indexed by [`BusyCause::index`]
+    /// (same order as [`BusyCause::ALL`]).
+    #[inline]
+    pub fn busy_breakdown(&self) -> [VirtualDuration; BusyCause::COUNT] {
+        self.busy_by_cause
     }
 
     /// Resets the clock to the epoch and clears the stall accumulators.
@@ -233,5 +351,52 @@ mod tests {
         for (i, cause) in StallCause::ALL.iter().enumerate() {
             assert_eq!(cause.index(), i);
         }
+        for (i, cause) in BusyCause::ALL.iter().enumerate() {
+            assert_eq!(cause.index(), i);
+        }
+    }
+
+    #[test]
+    fn busy_breakdown_sums_to_busy() {
+        let mut c = Clock::new();
+        c.advance(VirtualDuration::from_picos(7)); // CpuIssue
+        c.advance_for(BusyCause::Cache, VirtualDuration::from_picos(11));
+        c.advance_for(BusyCause::SanUndo, VirtualDuration::from_picos(13));
+        c.advance_to_for(StallCause::TwoSafe, VirtualInstant::from_picos(100));
+        assert_eq!(c.busy_by(BusyCause::CpuIssue).as_picos(), 7);
+        assert_eq!(c.busy_by(BusyCause::Cache).as_picos(), 11);
+        assert_eq!(c.busy_by(BusyCause::SanUndo).as_picos(), 13);
+        let busy_sum: u64 = c.busy_breakdown().iter().map(|d| d.as_picos()).sum();
+        assert_eq!(busy_sum, c.busy().as_picos());
+        assert_eq!(busy_sum, 31);
+        assert_eq!(
+            c.elapsed().as_picos(),
+            c.busy().as_picos() + c.stalled().as_picos()
+        );
+    }
+
+    #[test]
+    fn elapsed_is_measured_from_the_origin() {
+        let mut c = Clock::starting_at(VirtualInstant::from_picos(1_000));
+        assert_eq!(c.origin().as_picos(), 1_000);
+        assert!(c.elapsed().is_zero());
+        c.advance(VirtualDuration::from_picos(5));
+        c.advance_to(VirtualInstant::from_picos(1_020));
+        assert_eq!(c.elapsed().as_picos(), 20);
+        assert_eq!(
+            c.elapsed().as_picos(),
+            c.busy().as_picos() + c.stalled().as_picos()
+        );
+    }
+
+    #[test]
+    fn san_causes_map_traffic_classes() {
+        use crate::TrafficClass;
+        assert_eq!(
+            BusyCause::san(TrafficClass::Modified),
+            BusyCause::SanModified
+        );
+        assert_eq!(BusyCause::san(TrafficClass::Undo), BusyCause::SanUndo);
+        assert_eq!(BusyCause::san(TrafficClass::Meta), BusyCause::SanMeta);
     }
 }

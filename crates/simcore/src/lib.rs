@@ -42,7 +42,7 @@ mod time;
 
 pub use addr::{Addr, Region, TrafficClass};
 pub use cache::{CacheOutcome, DirectMappedCache};
-pub use clock::{Clock, StallCause};
+pub use clock::{BusyCause, Clock, StallCause};
 pub use costs::CostModel;
 pub use rng::SplitMix64;
 pub use sink::{NullSink, StoreSink};

@@ -1,0 +1,211 @@
+//! The `faultcov.json` emitter: fault-injection campaign coverage in the
+//! same hand-rolled, `simdiff`-compatible JSON dialect as the other
+//! artifacts.
+//!
+//! Every number in the document is deterministic virtual-time or counter
+//! arithmetic — no key contains `wall`, so `simdiff` gates every leaf
+//! bit-exactly. Scenario keys are [`Scenario::label`] strings, which are
+//! dot-free by construction (dots would collide with `simdiff`'s
+//! flattened metric paths).
+//!
+//! [`Scenario::label`]: dsnrep_faultsim::Scenario::label
+
+use std::fmt::Write as _;
+
+use dsnrep_faultsim::Campaign;
+
+/// Bumped whenever the shape of `faultcov.json` changes, so `simdiff`
+/// refuses stale-baseline comparisons instead of misreporting them.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One scenario's campaigns, keyed by the scenario label. Either mode
+/// may be absent (the emitted object then simply omits that key; a
+/// baseline must be blessed with the same `--mode` it is diffed against).
+#[derive(Debug)]
+pub struct ScenarioCoverage {
+    /// The scenario label (`passive-v1-debit-credit`).
+    pub label: String,
+    /// The exhaustive single-fault sweep, if that mode ran.
+    pub exhaustive: Option<Campaign>,
+    /// The seeded random multi-fault campaign, if that mode ran.
+    pub random: Option<Campaign>,
+}
+
+impl ScenarioCoverage {
+    fn campaigns(&self) -> impl Iterator<Item = &Campaign> {
+        self.exhaustive.iter().chain(self.random.iter())
+    }
+
+    /// Total counterexamples across both modes.
+    pub fn counterexamples(&self) -> usize {
+        self.campaigns().map(|c| c.counterexamples.len()).sum()
+    }
+}
+
+/// Renders the coverage document. The output is a pure function of its
+/// inputs — byte-identical across runs, machines and reorderings of
+/// nothing (scenario order is the caller's matrix order and is part of
+/// the contract).
+pub fn render(mode: &str, seed: u64, scenarios: &[ScenarioCoverage]) -> String {
+    let mut out = String::new();
+    let plans: u64 = scenarios
+        .iter()
+        .flat_map(ScenarioCoverage::campaigns)
+        .map(|c| c.plans_run)
+        .sum();
+    let faults: u64 = scenarios
+        .iter()
+        .flat_map(ScenarioCoverage::campaigns)
+        .map(|c| c.faults_fired)
+        .sum();
+    let counterexamples: usize = scenarios
+        .iter()
+        .map(ScenarioCoverage::counterexamples)
+        .sum();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"totals\": {{");
+    let _ = writeln!(out, "    \"scenarios\": {},", scenarios.len());
+    let _ = writeln!(out, "    \"plans_run\": {plans},");
+    let _ = writeln!(out, "    \"faults_fired\": {faults},");
+    let _ = writeln!(out, "    \"counterexamples\": {counterexamples}");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"scenarios\": {{");
+    for (i, s) in scenarios.iter().enumerate() {
+        let comma = if i + 1 < scenarios.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{}\": {{", s.label);
+        let mut blocks = Vec::new();
+        if let Some(c) = &s.exhaustive {
+            blocks.push(("exhaustive", c));
+        }
+        if let Some(c) = &s.random {
+            blocks.push(("random", c));
+        }
+        for (j, (name, campaign)) in blocks.iter().enumerate() {
+            let inner_comma = if j + 1 < blocks.len() { "," } else { "" };
+            let _ = writeln!(out, "      \"{name}\": {{");
+            write_campaign(&mut out, campaign);
+            let _ = writeln!(out, "      }}{inner_comma}");
+        }
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn write_campaign(out: &mut String, c: &Campaign) {
+    let _ = writeln!(out, "        \"txns\": {},", c.scenario.txns);
+    let _ = writeln!(out, "        \"plans_run\": {},", c.plans_run);
+    let _ = writeln!(out, "        \"faults_fired\": {},", c.faults_fired);
+    let _ = writeln!(out, "        \"store_sites\": {},", c.store_sites);
+    let _ = writeln!(out, "        \"packet_sites\": {},", c.packet_sites);
+    let _ = writeln!(out, "        \"txn_sites\": {},", c.txn_sites);
+    let _ = writeln!(out, "        \"recovery_sites\": {},", c.recovery_sites);
+    let _ = writeln!(out, "        \"heartbeat_faults\": {},", c.heartbeat_faults);
+    let _ = writeln!(out, "        \"max_outage_ps\": {},", c.max_outage_ps);
+    let _ = writeln!(
+        out,
+        "        \"probe\": {{\"stores\": {}, \"packets\": {}, \"recovery_writes\": {}}},",
+        c.probe.stores, c.probe.packets, c.probe.recovery_writes
+    );
+    let _ = writeln!(
+        out,
+        "        \"counterexamples\": {}",
+        c.counterexamples.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, JsonValue};
+    use dsnrep_core::VersionTag;
+    use dsnrep_faultsim::{Probe, Scenario};
+    use dsnrep_workloads::WorkloadKind;
+
+    /// A hand-built campaign: the emitter only reads public counters, so
+    /// tests need not pay for a real sweep.
+    fn campaign(plans: u64) -> Campaign {
+        Campaign {
+            scenario: Scenario::passive(VersionTag::MirrorCopy, WorkloadKind::DebitCredit),
+            plans_run: plans,
+            faults_fired: plans.saturating_sub(1),
+            store_sites: 40,
+            packet_sites: 12,
+            txn_sites: 5,
+            recovery_sites: 9,
+            heartbeat_faults: 2,
+            max_outage_ps: 3_141_592_653,
+            probe: Probe {
+                stores: 40,
+                packets: 12,
+                recovery_writes: 9,
+            },
+            counterexamples: Vec::new(),
+        }
+    }
+
+    fn coverage() -> Vec<ScenarioCoverage> {
+        let c = campaign(57);
+        vec![ScenarioCoverage {
+            label: c.scenario.label(),
+            exhaustive: Some(c.clone()),
+            random: Some(campaign(16)),
+        }]
+    }
+
+    #[test]
+    fn emitted_document_parses_and_carries_the_schema_version() {
+        let doc = render("both", 7, &coverage());
+        let v = parse(&doc).expect("faultcov output must be valid JSON");
+        assert_eq!(
+            v.get("schema_version").and_then(JsonValue::as_int),
+            Some(SCHEMA_VERSION as i128)
+        );
+        let scenario = v
+            .get("scenarios")
+            .and_then(|s| s.get("passive-v1-debit-credit"))
+            .expect("scenario keyed by its label");
+        assert_eq!(
+            scenario
+                .get("exhaustive")
+                .and_then(|e| e.get("plans_run"))
+                .and_then(JsonValue::as_int),
+            Some(57)
+        );
+        assert_eq!(
+            scenario
+                .get("random")
+                .and_then(|e| e.get("plans_run"))
+                .and_then(JsonValue::as_int),
+            Some(16)
+        );
+        assert_eq!(
+            v.get("totals")
+                .and_then(|t| t.get("plans_run"))
+                .and_then(JsonValue::as_int),
+            Some(73)
+        );
+    }
+
+    #[test]
+    fn rendering_is_a_pure_function_of_its_inputs() {
+        assert_eq!(
+            render("exhaustive", 42, &coverage()),
+            render("exhaustive", 42, &coverage())
+        );
+    }
+
+    #[test]
+    fn no_metric_path_contains_wall() {
+        // Every faultcov leaf is deterministic, so none may opt into
+        // simdiff's host-time tolerance band by carrying `wall` in a key.
+        let doc = render("both", 7, &coverage());
+        for line in doc.lines() {
+            assert!(!line.contains("wall"), "host-time key in faultcov: {line}");
+        }
+    }
+}

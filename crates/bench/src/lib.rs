@@ -17,6 +17,7 @@
 mod chart;
 pub mod diff;
 pub mod experiments;
+pub mod faultcov;
 pub mod json;
 pub mod paper;
 mod report;

@@ -1,0 +1,122 @@
+//! Edge-of-contract tests for the `simdiff` gate and the `faultcov`
+//! artifact: malformed numbers must be rejected at parse time (never
+//! silently compared), missing baselines must exit 2 (not pass), and a
+//! `faultcov.json` schema bump must refuse the comparison outright.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use dsnrep_bench::faultcov;
+use dsnrep_bench::json::parse;
+
+/// A scratch directory unique to one test.
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("simdiff-edges-{}-{test}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn simdiff(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_simdiff"))
+        .args(args)
+        .output()
+        .expect("spawn simdiff")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("simdiff exited via a signal")
+}
+
+#[test]
+fn parser_rejects_nan_and_infinity() {
+    // JSON has no NaN/Inf literals; a float that formats as `NaN` would
+    // otherwise compare equal to anything under f64 semantics, hiding a
+    // regression. The parser must refuse, so simdiff exits 2 instead.
+    for bad in [
+        "NaN",
+        "Infinity",
+        "-Infinity",
+        r#"{"schema_version": 1, "tps": NaN}"#,
+        r#"{"schema_version": 1, "tps": inf}"#,
+        r#"{"schema_version": 1, "tps": -inf}"#,
+    ] {
+        assert!(parse(bad).is_err(), "parser accepted {bad:?}");
+    }
+
+    let dir = scratch("nan");
+    let good = dir.join("good.json");
+    let nan = dir.join("nan.json");
+    std::fs::write(&good, r#"{"schema_version": 1, "tps": 1.5}"#).unwrap();
+    std::fs::write(&nan, r#"{"schema_version": 1, "tps": NaN}"#).unwrap();
+    let out = simdiff(&[good.to_str().unwrap(), nan.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 2, "NaN input must exit 2, not compare");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("not valid JSON"),
+        "stderr should blame the parse: {stderr}"
+    );
+}
+
+#[test]
+fn missing_baseline_exits_two_not_zero() {
+    // An empty baselines directory (a fresh checkout, a bad artifact
+    // path) must fail the gate loudly: exit 2, never a silent pass.
+    let dir = scratch("empty-baselines");
+    let baseline = dir.join("baselines").join("faultcov.json");
+    std::fs::create_dir_all(dir.join("baselines")).unwrap();
+    let current = dir.join("current.json");
+    std::fs::write(&current, r#"{"schema_version": 1, "x": 1}"#).unwrap();
+    let out = simdiff(&[baseline.to_str().unwrap(), current.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 2);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot read"),
+        "stderr should name the missing file: {stderr}"
+    );
+}
+
+#[test]
+fn faultcov_schema_bump_refuses_the_comparison() {
+    // A real faultcov document (current schema) against a fixture claiming
+    // the next schema version: simdiff must refuse (exit 2), not report a
+    // sea of per-metric regressions against a shape it cannot interpret.
+    let dir = scratch("faultcov-schema");
+    let doc = faultcov::render("exhaustive", 7, &[]);
+    let current = dir.join("faultcov.json");
+    std::fs::write(&current, &doc).unwrap();
+    let bumped = doc.replace(
+        &format!("\"schema_version\": {}", faultcov::SCHEMA_VERSION),
+        &format!("\"schema_version\": {}", faultcov::SCHEMA_VERSION + 1),
+    );
+    assert_ne!(doc, bumped, "fixture failed to bump the schema version");
+    let baseline = dir.join("faultcov-next.json");
+    std::fs::write(&baseline, &bumped).unwrap();
+
+    let out = simdiff(&[baseline.to_str().unwrap(), current.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 2, "schema mismatch must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("schema_version mismatch"),
+        "stderr should explain the refusal: {stderr}"
+    );
+
+    // Same schema, same document: the gate passes.
+    let out = simdiff(&[current.to_str().unwrap(), current.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 0);
+}
+
+#[test]
+fn simfault_rejects_bad_usage() {
+    let out = Command::new(env!("CARGO_BIN_EXE_simfault"))
+        .arg("--mode")
+        .arg("chaotic")
+        .output()
+        .expect("spawn simfault");
+    assert_eq!(out.status.code(), Some(2));
+    let out = Command::new(env!("CARGO_BIN_EXE_simfault"))
+        .arg("--bogus")
+        .output()
+        .expect("spawn simfault");
+    assert_eq!(out.status.code(), Some(2));
+}

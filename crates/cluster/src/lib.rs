@@ -47,4 +47,6 @@ mod timeline;
 
 pub use heartbeat::{HeartbeatConfig, HeartbeatMonitor, HeartbeatSchedule};
 pub use membership::{GroupView, NodeId, Role, ViewError, ViewManager};
-pub use timeline::{takeover_timeline, TakeoverTimeline};
+pub use timeline::{
+    takeover_timeline, takeover_timeline_with_faults, HeartbeatFaults, TakeoverTimeline,
+};

@@ -73,16 +73,66 @@ pub fn takeover_timeline(
     recovery: VirtualDuration,
     views: &mut ViewManager,
 ) -> Result<TakeoverTimeline, crate::ViewError> {
+    takeover_timeline_with_faults(
+        config,
+        delivery_latency,
+        crashed_at,
+        recovery,
+        views,
+        HeartbeatFaults::default(),
+    )
+}
+
+/// Injected heartbeat-path faults for [`takeover_timeline_with_faults`]:
+/// the ways a sick-but-not-dead primary (or a congested SAN) distorts the
+/// failure detector's view.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HeartbeatFaults {
+    /// Extra delivery delay added to every heartbeat (network congestion
+    /// or a wedged sender). Pushes `last_heartbeat_at` — and therefore the
+    /// detection deadline — later.
+    pub delay: VirtualDuration,
+    /// Drop every heartbeat after the first `n` emissions (a partially
+    /// wedged primary that stops beating before it stops serving). The
+    /// detector then fires off the last *delivered* beat, which can be
+    /// long before the crash instant.
+    pub drop_after: Option<u64>,
+}
+
+/// As [`takeover_timeline`], with injected heartbeat faults: every beat is
+/// delayed by `faults.delay`, and beats after the first `faults.drop_after`
+/// emissions are lost. Detection never precedes what the delivered beats
+/// justify, so suspicion can fire *before* the actual crash instant when
+/// beats are dropped early — the classic unreliable-failure-detector
+/// false positive, surfaced deterministically.
+///
+/// # Errors
+///
+/// Propagates [`ViewError`](crate::ViewError) if no successor exists.
+pub fn takeover_timeline_with_faults(
+    config: HeartbeatConfig,
+    delivery_latency: VirtualDuration,
+    crashed_at: VirtualInstant,
+    recovery: VirtualDuration,
+    views: &mut ViewManager,
+    faults: HeartbeatFaults,
+) -> Result<TakeoverTimeline, crate::ViewError> {
     let primary = views.current().primary();
     let start = views.current().installed_at();
     let mut schedule = HeartbeatSchedule::new(config, start);
     let mut monitor = HeartbeatMonitor::new(config, start);
-    // Deliver every heartbeat sent strictly before the crash.
+    // Deliver every heartbeat sent strictly before the crash (and not
+    // dropped by the injected fault), each one `delay` late.
     let mut last_heartbeat_at = start;
     while schedule.next_due() < crashed_at {
         let sent = schedule.next_due();
-        last_heartbeat_at = sent + delivery_latency;
-        monitor.observe(last_heartbeat_at);
+        let dropped = faults
+            .drop_after
+            .is_some_and(|after| schedule.count() >= after);
+        if !dropped {
+            last_heartbeat_at = sent + delivery_latency + faults.delay;
+            monitor.observe(last_heartbeat_at);
+        }
         schedule.emitted(sent);
     }
     let detected_at = monitor.deadline();
@@ -163,6 +213,98 @@ mod tests {
         .unwrap();
         assert!(t.detected_at > crash);
         assert_eq!(t.last_heartbeat_at, VirtualInstant::EPOCH);
+    }
+
+    #[test]
+    fn delayed_heartbeats_push_detection_later() {
+        let config = HeartbeatConfig {
+            period: VirtualDuration::from_micros(100),
+            misses: 3,
+        };
+        let crash = VirtualInstant::EPOCH + VirtualDuration::from_millis(5);
+        let latency = VirtualDuration::from_micros(3);
+        let delay = VirtualDuration::from_micros(40);
+        let baseline = takeover_timeline(config, latency, crash, VirtualDuration::ZERO, {
+            &mut two_nodes()
+        })
+        .unwrap();
+        let delayed = takeover_timeline_with_faults(
+            config,
+            latency,
+            crash,
+            VirtualDuration::ZERO,
+            &mut two_nodes(),
+            HeartbeatFaults {
+                delay,
+                drop_after: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            delayed.last_heartbeat_at,
+            baseline.last_heartbeat_at + delay
+        );
+        assert_eq!(delayed.detected_at, baseline.detected_at + delay);
+        assert_eq!(delayed.outage(), baseline.outage() + delay);
+    }
+
+    #[test]
+    fn dropped_heartbeats_force_early_suspicion() {
+        let config = HeartbeatConfig {
+            period: VirtualDuration::from_micros(100),
+            misses: 3,
+        };
+        let crash = VirtualInstant::EPOCH + VirtualDuration::from_millis(5);
+        let latency = VirtualDuration::from_micros(3);
+        let mut views = two_nodes();
+        let t = takeover_timeline_with_faults(
+            config,
+            latency,
+            crash,
+            VirtualDuration::ZERO,
+            &mut views,
+            HeartbeatFaults {
+                delay: VirtualDuration::ZERO,
+                drop_after: Some(10),
+            },
+        )
+        .unwrap();
+        // The 10th beat (sent at start + 10 periods) is the last delivered.
+        let expected_last =
+            VirtualInstant::EPOCH + VirtualDuration::from_micros(100) * 10 + latency;
+        assert_eq!(t.last_heartbeat_at, expected_last);
+        // Suspicion fires off that beat — well before the actual crash:
+        // the detector cannot distinguish "stopped beating" from "dead".
+        assert_eq!(
+            t.detected_at,
+            expected_last + VirtualDuration::from_micros(100) * 3
+        );
+        assert!(t.detected_at < crash);
+        assert_eq!(views.current().primary(), NodeId::new(1));
+    }
+
+    #[test]
+    fn zero_faults_match_the_unfaulted_timeline() {
+        let crash = VirtualInstant::EPOCH + VirtualDuration::from_millis(7);
+        let latency = VirtualDuration::from_micros(3);
+        let a = takeover_timeline(
+            HeartbeatConfig::default(),
+            latency,
+            crash,
+            VirtualDuration::from_millis(1),
+            &mut two_nodes(),
+        )
+        .unwrap();
+        let b = takeover_timeline_with_faults(
+            HeartbeatConfig::default(),
+            latency,
+            crash,
+            VirtualDuration::from_millis(1),
+            &mut two_nodes(),
+            HeartbeatFaults::default(),
+        )
+        .unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

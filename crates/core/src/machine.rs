@@ -106,6 +106,9 @@ pub struct Machine<T: Tracer = NullTracer> {
     /// subsequent store is silently dropped — exactly what a crash at that
     /// store boundary looks like to recoverable memory.
     store_budget: Option<u64>,
+    /// Monotone count of accounted stores, so fault campaigns can
+    /// enumerate every store boundary of a probe run.
+    stores_executed: u64,
     tracer: T,
     track: u32,
     /// Start of the transaction currently being traced (set by
@@ -157,6 +160,7 @@ impl<T: Tracer> Machine<T> {
             replicated: Vec::new(),
             durability: Durability::OneSafe,
             store_budget: None,
+            stores_executed: 0,
             tracer,
             track,
             tx_start: None,
@@ -310,8 +314,48 @@ impl<T: Tracer> Machine<T> {
     fn consume_store_budget(&mut self) {
         match &mut self.store_budget {
             None => {}
-            Some(0) => panic!("dsnrep fault injection: simulated processor halt"),
+            Some(0) => {
+                self.tracer.instant(
+                    self.track,
+                    TraceEventKind::FaultInjected,
+                    self.clock.now(),
+                    self.stores_executed,
+                );
+                panic!("dsnrep fault injection: simulated processor halt")
+            }
             Some(n) => *n -= 1,
+        }
+        self.stores_executed += 1;
+    }
+
+    /// Accounted stores executed so far (monotone).
+    pub fn stores_executed(&self) -> u64 {
+        self.stores_executed
+    }
+
+    /// SAN packets emitted by this node's port so far (0 without a port).
+    pub fn packets_emitted(&self) -> u64 {
+        self.port.as_ref().map_or(0, |p| p.packets_emitted())
+    }
+
+    /// Arms a packet-boundary fault on the SAN port: the node halts
+    /// (panics) before the `(packets + 1)`-th packet from now reaches the
+    /// link. No-op without a port.
+    pub fn inject_crash_after_packets(&mut self, packets: u64) {
+        if let Some(port) = self.port.as_mut() {
+            port.inject_crash_after_packets(packets);
+        }
+    }
+
+    /// Whether an armed packet-boundary fault has fired.
+    pub fn has_packet_halted(&self) -> bool {
+        self.port.as_ref().is_some_and(|p| p.has_packet_halted())
+    }
+
+    /// Disarms any packet-boundary fault on the port.
+    pub fn clear_packet_fault(&mut self) {
+        if let Some(port) = self.port.as_mut() {
+            port.clear_packet_fault();
         }
     }
 

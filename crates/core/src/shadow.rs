@@ -39,10 +39,14 @@ pub struct ShadowDb {
     region: Region,
     committed: Vec<u8>,
     pending: Vec<(u64, Vec<u8>)>,
+    /// Ranges declared (`set_range`) by the active transaction.
+    pending_ranges: Vec<(u64, u64)>,
     /// Undo for the most recent commit: (offset, old bytes).
     last_undo: Vec<(u64, Vec<u8>)>,
     /// Spans written by the most recent commit.
     last_spans: Vec<(u64, u64)>,
+    /// Ranges declared by the most recent commit.
+    last_ranges: Vec<(u64, u64)>,
     active: bool,
     seq: u64,
 }
@@ -54,8 +58,10 @@ impl ShadowDb {
             region,
             committed: vec![0; usize::try_from(region.len()).expect("shadow too large")],
             pending: Vec::new(),
+            pending_ranges: Vec::new(),
             last_undo: Vec::new(),
             last_spans: Vec::new(),
+            last_ranges: Vec::new(),
             active: false,
             seq: 0,
         }
@@ -81,6 +87,25 @@ impl ShadowDb {
         assert!(!self.active, "shadow transaction already active");
         self.active = true;
         self.pending.clear();
+        self.pending_ranges.clear();
+    }
+
+    /// Records an undo range declared (`set_range`) by the active
+    /// transaction. A crashed transaction's rollback touches exactly its
+    /// declared ranges — on a 1-safe backup possibly with a torn undo
+    /// image — so declared ranges, not just written spans, bound where a
+    /// failover may observe torn bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is active or the range is out of bounds.
+    pub fn declare(&mut self, addr: Addr, len: u64) {
+        assert!(self.active, "shadow declare outside a transaction");
+        assert!(
+            self.region.contains_range(addr, len),
+            "shadow declare out of bounds"
+        );
+        self.pending_ranges.push((addr - self.region.start(), len));
     }
 
     /// Records a write of the active transaction.
@@ -107,6 +132,8 @@ impl ShadowDb {
         assert!(self.active, "shadow commit outside a transaction");
         self.last_undo.clear();
         self.last_spans.clear();
+        self.last_ranges.clear();
+        self.last_ranges.append(&mut self.pending_ranges);
         for (off, bytes) in self.pending.drain(..) {
             let off_usize = off as usize;
             self.last_undo.push((
@@ -128,6 +155,7 @@ impl ShadowDb {
     pub fn abort(&mut self) {
         assert!(self.active, "shadow abort outside a transaction");
         self.pending.clear();
+        self.pending_ranges.clear();
         self.active = false;
     }
 
@@ -158,6 +186,13 @@ impl ShadowDb {
     /// torn-tail containment checks).
     pub fn last_txn_spans(&self) -> &[(u64, u64)] {
         &self.last_spans
+    }
+
+    /// `(offset, len)` undo ranges declared by the most recent commit
+    /// (see [`ShadowDb::declare`]). A superset of the written spans
+    /// whenever the workload declares whole records but writes fields.
+    pub fn last_txn_ranges(&self) -> &[(u64, u64)] {
+        &self.last_ranges
     }
 
     /// Compares the committed image to the arena's database region,
@@ -248,6 +283,25 @@ mod tests {
         s.write(Addr::new(66), &[5; 4]);
         s.commit();
         assert_eq!(s.last_txn_spans(), &[(2, 4)]);
+    }
+
+    #[test]
+    fn declared_ranges_tracked_per_commit() {
+        let mut s = ShadowDb::new(region());
+        s.begin();
+        s.declare(Addr::new(64), 16);
+        s.write(Addr::new(66), &[5; 4]);
+        s.commit();
+        assert_eq!(s.last_txn_ranges(), &[(0, 16)]);
+        // An abort discards its declarations; the last commit's survive.
+        s.begin();
+        s.declare(Addr::new(80), 8);
+        s.abort();
+        assert_eq!(s.last_txn_ranges(), &[(0, 16)]);
+        s.begin();
+        s.declare(Addr::new(72), 8);
+        s.commit();
+        assert_eq!(s.last_txn_ranges(), &[(8, 8)]);
     }
 
     #[test]

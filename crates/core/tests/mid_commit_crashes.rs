@@ -1,141 +1,19 @@
-//! Exhaustive mid-operation crash sweep: halt the simulated processor at
-//! *every single store boundary* of a transaction batch — including inside
-//! commit processing (flag writes, mirror propagation, undo-list frees) —
-//! and require recovery to land exactly on a transaction boundary.
+//! Store-budget fault-hook semantics.
 //!
-//! The halt is a panic at the faulting store (a real crash executes nothing
-//! further); the sweep catches the unwind, discards all volatile state, and
-//! recovers from the surviving arena. This is the strongest atomicity test
-//! in the repository: nothing is assumed about where commits can be
-//! interrupted.
+//! The exhaustive every-store-boundary recovery sweep that used to live
+//! here moved to `crates/faultsim/tests/campaigns.rs`: the FaultPlan
+//! explorer (`dsnrep_faultsim::exhaustive_single_fault`) now drives the
+//! same sweep for every engine version through the shared shadow oracle,
+//! so this file keeps only the low-level contract of the injection hook
+//! itself.
 
-use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 
-use dsnrep_core::{arena_len, attach_engine, build_engine, EngineConfig, Machine, VersionTag};
-use dsnrep_rio::Arena;
-use dsnrep_simcore::{Addr, CostModel, SplitMix64};
+use dsnrep_core::{arena_len, EngineConfig, Machine, VersionTag};
+use dsnrep_simcore::{Addr, CostModel};
 
 const DB_LEN: u64 = 32 * 1024;
-const TXNS: u64 = 6;
-
-/// Runs up to `TXNS` deterministic transactions; with a store budget the
-/// run ends in the injected halt (caught here). Returns the surviving
-/// arena and whether the halt fired.
-fn run_with_budget(version: VersionTag, budget: Option<u64>) -> (Rc<RefCell<Arena>>, bool) {
-    let config = EngineConfig::for_db(DB_LEN);
-    let arena = dsnrep_core::shared_arena(arena_len(version, &config));
-    let mut m = Machine::standalone(CostModel::alpha_21164a(), Rc::clone(&arena));
-    let mut e = build_engine(version, &mut m, &config);
-    if let Some(b) = budget {
-        m.inject_crash_after_stores(b);
-    }
-    let db = e.db_region();
-    let result = catch_unwind(AssertUnwindSafe(|| {
-        let mut rng = SplitMix64::new(0xFA117);
-        for _ in 0..TXNS {
-            e.begin(&mut m).expect("begin");
-            for _ in 0..3 {
-                let len = 8 + rng.next_below(24);
-                let off = rng.next_below(db.len() - len);
-                let base = db.start() + off;
-                e.set_range(&mut m, base, len).expect("set_range");
-                let mut data = vec![0u8; len as usize];
-                for b in &mut data {
-                    *b = rng.next_u64() as u8;
-                }
-                e.write(&mut m, base, &data).expect("write");
-            }
-            e.commit(&mut m).expect("commit");
-        }
-    }));
-    let halted = match result {
-        Ok(()) => false,
-        Err(payload) => {
-            let msg = payload
-                .downcast_ref::<&str>()
-                .copied()
-                .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
-                .unwrap_or("");
-            assert!(
-                msg.contains("fault injection"),
-                "{version}: unexpected panic during the sweep: {msg}"
-            );
-            true
-        }
-    };
-    (arena, halted)
-}
-
-/// The reference database image after exactly `seq` committed transactions.
-fn reference_image(version: VersionTag, seq: u64) -> Vec<u8> {
-    let config = EngineConfig::for_db(DB_LEN);
-    let arena = dsnrep_core::shared_arena(arena_len(version, &config));
-    let mut m = Machine::standalone(CostModel::alpha_21164a(), Rc::clone(&arena));
-    let mut e = build_engine(version, &mut m, &config);
-    let db = e.db_region();
-    let mut rng = SplitMix64::new(0xFA117);
-    for _ in 0..seq {
-        e.begin(&mut m).expect("begin");
-        for _ in 0..3 {
-            let len = 8 + rng.next_below(24);
-            let off = rng.next_below(db.len() - len);
-            let base = db.start() + off;
-            e.set_range(&mut m, base, len).expect("set_range");
-            let mut data = vec![0u8; len as usize];
-            for b in &mut data {
-                *b = rng.next_u64() as u8;
-            }
-            e.write(&mut m, base, &data).expect("write");
-        }
-        e.commit(&mut m).expect("commit");
-    }
-    let image = m.arena().borrow().read_vec(db.start(), db.len() as usize);
-    image
-}
-
-#[test]
-fn every_store_boundary_recovers_to_a_transaction_boundary() {
-    for version in VersionTag::ALL {
-        let mut budget = 0u64;
-        let mut checked = 0u32;
-        loop {
-            let (arena, halted) = run_with_budget(version, Some(budget));
-            // Reboot: fresh machine over the surviving arena, cold cache.
-            let mut m = Machine::standalone(CostModel::alpha_21164a(), arena);
-            let mut engine = attach_engine(version, &mut m);
-            let report = engine.recover(&mut m);
-            let seq = report.committed_seq;
-            assert!(
-                seq <= TXNS,
-                "{version}: budget {budget} recovered seq {seq}"
-            );
-            let reference = reference_image(version, seq);
-            let db = engine.db_region();
-            let actual = m.arena().borrow().read_vec(db.start(), db.len() as usize);
-            if actual != reference {
-                let first = reference
-                    .iter()
-                    .zip(actual.iter())
-                    .position(|(a, b)| a != b)
-                    .expect("differs");
-                panic!(
-                    "{version}: crash after {budget} stores recovered to seq {seq} \
-                     but diverges from the reference at db offset {first}"
-                );
-            }
-            checked += 1;
-            if !halted {
-                break; // the budget outlasted the whole run
-            }
-            // Sweep every boundary early (commit paths are short), then
-            // coarsen.
-            budget += if budget < 80 { 1 } else { 7 };
-        }
-        assert!(checked > 40, "{version}: only {checked} crash points swept");
-    }
-}
 
 #[test]
 fn halted_machine_panics_at_the_exact_store() {

@@ -1,0 +1,285 @@
+//! Campaign exploration: exhaustive single-fault sweeps for small runs,
+//! seeded random multi-fault schedules for large ones.
+//!
+//! Both modes funnel every outcome through the shadow oracle and the
+//! recovery invariants; any failing schedule is shrunk on the spot to a
+//! minimal [`FaultPlan`] and reported as a [`Counterexample`] carrying a
+//! copy-pasteable regression test.
+
+use dsnrep_simcore::SplitMix64;
+
+use crate::exec::{execute_against, Mutation, Violation};
+use crate::oracle::Reference;
+use crate::plan::{FaultEvent, FaultPlan, FaultSite, PlanError};
+use crate::scenario::{Driver, Scenario};
+use crate::shrink::{regression_snippet, shrink, ShrinkResult};
+
+/// Boundary counts discovered by probing a scenario: the denominators of
+/// an exhaustive sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Probe {
+    /// Accounted stores the primary executes in a fault-free run.
+    pub stores: u64,
+    /// SAN packets the primary emits in a fault-free run.
+    pub packets: u64,
+    /// Arena writes of the recovery that follows a crash at the last
+    /// store boundary (the deepest rollback the run can need).
+    pub recovery_writes: u64,
+}
+
+/// Measures a scenario's boundary counts with two instrumented runs: one
+/// fault-free, one crashed at the final store boundary.
+///
+/// # Errors
+///
+/// Returns a [`PlanError`] if either probe run itself violates the
+/// oracle — a broken scenario cannot be swept meaningfully.
+pub fn probe(scenario: &Scenario, reference: &Reference) -> Result<Probe, PlanError> {
+    let clean = execute_against(scenario, &FaultPlan::none(), reference, None)?;
+    if let Some(v) = clean.violation {
+        return Err(PlanError::new(format!(
+            "fault-free probe run violated: {v}"
+        )));
+    }
+    let site = if clean.stores > 0 {
+        FaultSite::Store(clean.stores - 1)
+    } else {
+        FaultSite::Txn(scenario.txns)
+    };
+    let plan = FaultPlan::new(vec![FaultEvent::CrashPrimary(site)]);
+    let crashed = execute_against(scenario, &plan, reference, None)?;
+    if let Some(v) = crashed.violation {
+        return Err(PlanError::new(format!("crash probe run violated: {v}")));
+    }
+    Ok(Probe {
+        stores: clean.stores,
+        packets: clean.packets,
+        recovery_writes: crashed.recovery_writes,
+    })
+}
+
+/// A failing schedule, shrunk to its minimal form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The scenario label the failure occurred under.
+    pub scenario: String,
+    /// The schedule the explorer found.
+    pub original: FaultPlan,
+    /// What the original schedule broke.
+    pub violation: Violation,
+    /// The minimal failing schedule.
+    pub shrunk: FaultPlan,
+    /// What the shrunk schedule breaks (may differ in detail).
+    pub shrunk_violation: Violation,
+    /// Plan executions the shrinker spent.
+    pub shrink_executions: u64,
+    /// A copy-pasteable regression test reproducing the shrunk failure.
+    pub regression_test: String,
+}
+
+/// Aggregated coverage and findings for one scenario's campaign.
+/// `PartialEq` exists so determinism tests can compare whole campaigns
+/// across replays.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Campaign {
+    /// The scenario swept.
+    pub scenario: Scenario,
+    /// Plans executed (excluding probe and shrink runs).
+    pub plans_run: u64,
+    /// Injected faults that actually fired across all plans.
+    pub faults_fired: u64,
+    /// Plans whose primary crash sat on a store boundary.
+    pub store_sites: u64,
+    /// Plans whose primary crash sat on a SAN packet boundary.
+    pub packet_sites: u64,
+    /// Plans whose primary crash sat on a transaction boundary.
+    pub txn_sites: u64,
+    /// Mid-recovery crash events scheduled across all plans.
+    pub recovery_sites: u64,
+    /// Plans that distorted the heartbeat path (delay or drop).
+    pub heartbeat_faults: u64,
+    /// The worst crash-to-serving outage observed, in picoseconds.
+    pub max_outage_ps: u64,
+    /// The probe counts the sweep was derived from.
+    pub probe: Probe,
+    /// Every failing schedule, shrunk.
+    pub counterexamples: Vec<Counterexample>,
+}
+
+impl Campaign {
+    fn new(scenario: &Scenario, probe: Probe) -> Self {
+        Campaign {
+            scenario: *scenario,
+            plans_run: 0,
+            faults_fired: 0,
+            store_sites: 0,
+            packet_sites: 0,
+            txn_sites: 0,
+            recovery_sites: 0,
+            heartbeat_faults: 0,
+            max_outage_ps: 0,
+            probe,
+            counterexamples: Vec::new(),
+        }
+    }
+
+    /// `true` when every plan passed the oracle and the invariants.
+    pub fn clean(&self) -> bool {
+        self.counterexamples.is_empty()
+    }
+
+    fn run_plan(
+        &mut self,
+        reference: &Reference,
+        plan: FaultPlan,
+        mutation: Option<Mutation>,
+    ) -> Result<(), PlanError> {
+        let scenario = self.scenario;
+        let outcome = execute_against(&scenario, &plan, reference, mutation)?;
+        self.plans_run += 1;
+        self.faults_fired += outcome.faults_fired;
+        match plan.primary_crash() {
+            Some(FaultSite::Store(_)) => self.store_sites += 1,
+            Some(FaultSite::Packet(_)) => self.packet_sites += 1,
+            Some(FaultSite::Txn(_)) => self.txn_sites += 1,
+            None => {}
+        }
+        self.recovery_sites += plan.recovery_crashes().len() as u64;
+        if plan.heartbeat_delay_ps() > 0 || plan.heartbeat_drop_after().is_some() {
+            self.heartbeat_faults += 1;
+        }
+        if let Some(outage) = outcome.outage_ps {
+            self.max_outage_ps = self.max_outage_ps.max(outage);
+        }
+        if let Some(violation) = outcome.violation {
+            let ShrinkResult {
+                plan: shrunk,
+                violation: shrunk_violation,
+                executions,
+            } = shrink(&scenario, reference, mutation, &plan, violation.clone());
+            let regression_test = regression_snippet(&scenario, &shrunk, &shrunk_violation);
+            self.counterexamples.push(Counterexample {
+                scenario: scenario.label(),
+                original: plan,
+                violation,
+                shrunk,
+                shrunk_violation,
+                shrink_executions: executions,
+                regression_test,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Sweeps every single-fault point of `scenario`: a crash at each store
+/// boundary, each SAN packet boundary (clustered drivers), each
+/// transaction boundary, and — against the deepest crash point — a
+/// backup crash at each recovery write. Optionally plants a [`Mutation`]
+/// in the recovery path (campaign self-tests).
+///
+/// # Errors
+///
+/// Returns a [`PlanError`] if the probe runs fail.
+pub fn exhaustive_single_fault(
+    scenario: &Scenario,
+    mutation: Option<Mutation>,
+) -> Result<Campaign, PlanError> {
+    let reference = Reference::build(scenario);
+    let probe = probe(scenario, &reference)?;
+    let mut campaign = Campaign::new(scenario, probe);
+    for s in 0..probe.stores {
+        let plan = FaultPlan::new(vec![FaultEvent::CrashPrimary(FaultSite::Store(s))]);
+        campaign.run_plan(&reference, plan, mutation)?;
+    }
+    if scenario.driver != Driver::Standalone {
+        for p in 0..probe.packets {
+            let plan = FaultPlan::new(vec![FaultEvent::CrashPrimary(FaultSite::Packet(p))]);
+            campaign.run_plan(&reference, plan, mutation)?;
+        }
+    }
+    for t in 0..=scenario.txns {
+        let plan = FaultPlan::new(vec![FaultEvent::CrashPrimary(FaultSite::Txn(t))]);
+        campaign.run_plan(&reference, plan, mutation)?;
+    }
+    let deepest = if probe.stores > 0 {
+        FaultSite::Store(probe.stores - 1)
+    } else {
+        FaultSite::Txn(scenario.txns)
+    };
+    for w in 0..probe.recovery_writes {
+        let plan = FaultPlan::new(vec![
+            FaultEvent::CrashPrimary(deepest),
+            FaultEvent::CrashBackupRecoveryWrite(w),
+        ]);
+        campaign.run_plan(&reference, plan, mutation)?;
+    }
+    Ok(campaign)
+}
+
+fn random_plan(rng: &mut SplitMix64, scenario: &Scenario, probe: &Probe) -> FaultPlan {
+    let mut events = Vec::new();
+    // Always crash the primary somewhere: fault-free runs are covered by
+    // the probe, and every other event depends on a takeover.
+    let site_kinds = if scenario.driver == Driver::Standalone {
+        2
+    } else {
+        3
+    };
+    let site = match rng.next_below(site_kinds) {
+        0 => FaultSite::Store(rng.next_below(probe.stores.max(1))),
+        1 => FaultSite::Txn(rng.next_below(scenario.txns + 1)),
+        _ => FaultSite::Packet(rng.next_below(probe.packets.max(1))),
+    };
+    events.push(FaultEvent::CrashPrimary(site));
+    // Half the plans also crash recovery, a quarter twice (double and
+    // triple faults). Budgets range past the observed recovery length so
+    // some armed faults never fire — that path must stay correct too.
+    let budget_range = (probe.recovery_writes.max(1)) * 2;
+    let doubles = rng.next_below(4);
+    if doubles >= 2 {
+        events.push(FaultEvent::CrashBackupRecoveryWrite(
+            rng.next_below(budget_range),
+        ));
+    }
+    if doubles == 3 {
+        events.push(FaultEvent::CrashBackupRecoveryWrite(
+            rng.next_below(budget_range),
+        ));
+    }
+    if scenario.driver != Driver::Standalone {
+        if rng.next_below(4) == 0 {
+            // Up to 500 us of heartbeat delay.
+            events.push(FaultEvent::DelayHeartbeats(
+                (rng.next_below(500) + 1) * 1_000_000,
+            ));
+        }
+        if rng.next_below(8) == 0 {
+            events.push(FaultEvent::DropHeartbeatsAfter(rng.next_below(32)));
+        }
+    }
+    FaultPlan::new(events)
+}
+
+/// Explores `plans` random multi-fault schedules of `scenario`, seeded
+/// by `seed`: same seed, same schedules, same outcomes.
+///
+/// # Errors
+///
+/// Returns a [`PlanError`] if the probe runs fail.
+pub fn random_campaign(
+    scenario: &Scenario,
+    seed: u64,
+    plans: u64,
+    mutation: Option<Mutation>,
+) -> Result<Campaign, PlanError> {
+    let reference = Reference::build(scenario);
+    let probe = probe(scenario, &reference)?;
+    let mut campaign = Campaign::new(scenario, probe);
+    let mut rng = SplitMix64::new(seed);
+    for _ in 0..plans {
+        let plan = random_plan(&mut rng, scenario, &probe);
+        campaign.run_plan(&reference, plan, mutation)?;
+    }
+    Ok(campaign)
+}

@@ -1,0 +1,180 @@
+//! The shadow oracle a faulted run is checked against.
+//!
+//! One fault-free Version 3 run with a [`ShadowDb`] mirror produces, for
+//! a given (workload, seed, db size, length), the committed database
+//! image after every transaction boundary plus the write spans of each
+//! transaction. Because [`ShadowDb`] records everything **region
+//! relative**, the same reference serves every engine version and every
+//! driver: each faulted run is compared against the reference at its own
+//! recovered sequence number, reading its own database region.
+
+use dsnrep_core::{build_engine, shared_arena, Machine, ShadowDb, VersionTag};
+use dsnrep_simcore::CostModel;
+use dsnrep_workloads::TxCtx;
+
+use crate::scenario::Scenario;
+
+/// How many transactions past a crash boundary can be torn (1-safe
+/// passive replication loses at most the in-flight SAN tail; 8 covers it
+/// with margin at these run lengths).
+pub const TAIL_WINDOW: u64 = 8;
+
+/// The precomputed fault-free truth for one scenario shape.
+#[derive(Clone, Debug)]
+pub struct Reference {
+    /// `images[s]` is the committed database image after `s` transactions.
+    images: Vec<Vec<u8>>,
+    /// `txn_spans[i]` holds the region-relative torn window (declared
+    /// undo ranges plus written spans) of the (1-based) transaction
+    /// `i + 1`; extends `TAIL_WINDOW` past `txns`.
+    txn_spans: Vec<Vec<(u64, u64)>>,
+}
+
+impl Reference {
+    /// Runs the fault-free reference for `scenario` (always Version 3
+    /// standalone — the shadow equivalence tests pin all versions to the
+    /// same logical history).
+    pub fn build(scenario: &Scenario) -> Self {
+        let config = dsnrep_core::EngineConfig::for_db(scenario.db_len);
+        let arena = shared_arena(dsnrep_core::arena_len(VersionTag::ImprovedLog, &config));
+        let mut m = Machine::standalone(CostModel::alpha_21164a(), arena);
+        let mut engine = build_engine(VersionTag::ImprovedLog, &mut m, &config);
+        let db = engine.db_region();
+        let mut shadow = ShadowDb::new(db);
+        let mut workload = scenario.workload.build(db, scenario.seed);
+
+        let mut images = Vec::with_capacity(scenario.txns as usize + 1);
+        images.push(shadow.committed().to_vec());
+        let mut txn_spans = Vec::with_capacity((scenario.txns + TAIL_WINDOW) as usize);
+        for i in 0..scenario.txns + TAIL_WINDOW {
+            let mut ctx = TxCtx::new(&mut m, engine.as_mut()).with_shadow(&mut shadow);
+            workload
+                .run_txn(&mut ctx)
+                .expect("the fault-free reference run cannot fail");
+            // The torn window of a transaction is its declared undo
+            // ranges, not just its written spans: a 1-safe backup's
+            // rollback restores whole declared ranges, possibly from a
+            // torn undo image (the record header publishes atomically
+            // over the SAN, its data blocks may still be in write
+            // buffers). Keep the written spans too — ranges cover them
+            // by construction, but the union is cheap insurance.
+            let mut window = shadow.last_txn_ranges().to_vec();
+            window.extend_from_slice(shadow.last_txn_spans());
+            txn_spans.push(window);
+            if i < scenario.txns {
+                images.push(shadow.committed().to_vec());
+            }
+        }
+        // The shadow is the truth the images came from; the engine that
+        // produced them must agree with it at the final boundary.
+        debug_assert!(
+            shadow.matches(&m.arena().borrow()),
+            "the reference engine diverged from its own shadow"
+        );
+        Reference { images, txn_spans }
+    }
+
+    /// Transactions the reference covers (a recovered sequence must not
+    /// exceed this).
+    pub fn txns(&self) -> u64 {
+        self.images.len() as u64 - 1
+    }
+
+    /// The committed image after `seq` transactions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` exceeds [`Reference::txns`] (callers check the
+    /// sequence invariant first).
+    pub fn image(&self, seq: u64) -> &[u8] {
+        &self.images[seq as usize]
+    }
+
+    /// Region-relative spans a 1-safe backup at boundary `seq` may
+    /// expose torn bytes in: the declared undo ranges and written spans
+    /// of transactions `seq + 1` through `seq + TAIL_WINDOW` (partially
+    /// applied in-flight writes, or rollback over a torn undo image).
+    pub fn tail_spans(&self, seq: u64) -> Vec<(u64, u64)> {
+        let from = seq as usize;
+        let to = ((seq + TAIL_WINDOW) as usize).min(self.txn_spans.len());
+        self.txn_spans[from..to].iter().flatten().copied().collect()
+    }
+
+    /// Compares `actual` (a database region read, region-relative) against
+    /// the committed image at `seq`. With `allow_torn_tail`, bytes inside
+    /// [`Reference::tail_spans`] may differ (partially applied in-flight
+    /// writes); everything else must match exactly. Returns the
+    /// region-relative offset of the first unexplained mismatch.
+    pub fn first_unexplained_mismatch(
+        &self,
+        seq: u64,
+        actual: &[u8],
+        allow_torn_tail: bool,
+    ) -> Option<u64> {
+        let expect = self.image(seq);
+        assert_eq!(
+            expect.len(),
+            actual.len(),
+            "oracle and run disagree on the database size"
+        );
+        let mut torn = vec![false; expect.len()];
+        if allow_torn_tail {
+            for (off, len) in self.tail_spans(seq) {
+                for b in off..off + len {
+                    torn[b as usize] = true;
+                }
+            }
+        }
+        (0..expect.len())
+            .find(|&i| expect[i] != actual[i] && !torn[i])
+            .map(|i| i as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsnrep_workloads::WorkloadKind;
+
+    #[test]
+    fn the_reference_is_deterministic_and_sized() {
+        let scenario = Scenario::standalone(VersionTag::ImprovedLog, WorkloadKind::DebitCredit);
+        let a = Reference::build(&scenario);
+        let b = Reference::build(&scenario);
+        assert_eq!(a.txns(), scenario.txns);
+        for s in 0..=scenario.txns {
+            assert_eq!(a.image(s), b.image(s), "image {s} differs");
+        }
+        // Transactions write something, so consecutive images differ.
+        assert_ne!(a.image(0), a.image(1));
+    }
+
+    #[test]
+    fn mismatches_inside_the_tail_are_explained_outside_are_not() {
+        let scenario = Scenario::standalone(VersionTag::ImprovedLog, WorkloadKind::DebitCredit);
+        let r = Reference::build(&scenario);
+        // A backup that stopped at boundary 2 but partially applied txn 3:
+        // corrupt one byte inside txn 3's first span.
+        let mut actual = r.image(2).to_vec();
+        let spans = r.tail_spans(2);
+        let (off, _) = spans[0];
+        actual[off as usize] ^= 0xFF;
+        assert_eq!(r.first_unexplained_mismatch(2, &actual, true), None);
+        assert_eq!(r.first_unexplained_mismatch(2, &actual, false), Some(off));
+        // A byte outside every tail span is never explained.
+        let torn: std::collections::HashSet<u64> = r
+            .tail_spans(2)
+            .iter()
+            .flat_map(|(o, l)| *o..*o + *l)
+            .collect();
+        let outside = (0..actual.len() as u64)
+            .find(|b| !torn.contains(b))
+            .expect("the tail does not cover the whole database");
+        let mut actual = r.image(2).to_vec();
+        actual[outside as usize] ^= 0xFF;
+        assert_eq!(
+            r.first_unexplained_mismatch(2, &actual, true),
+            Some(outside)
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! What a fault plan runs against: driver x version x workload x length.
+
+use std::fmt;
+
+use dsnrep_core::VersionTag;
+use dsnrep_workloads::WorkloadKind;
+
+/// Which replication driver hosts the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Driver {
+    /// A single node, no replication: crash and recover in place.
+    Standalone,
+    /// [`PassiveCluster`](dsnrep_repl::PassiveCluster): write doubling,
+    /// idle backup CPU.
+    Passive,
+    /// [`ActiveCluster`](dsnrep_repl::ActiveCluster): redo shipping,
+    /// polling backup CPU (always Version 3 on the primary).
+    Active,
+}
+
+impl Driver {
+    /// Short lowercase name used in campaign labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            Driver::Standalone => "standalone",
+            Driver::Passive => "passive",
+            Driver::Active => "active",
+        }
+    }
+}
+
+impl fmt::Display for Driver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One concrete configuration a [`FaultPlan`](crate::FaultPlan) executes
+/// against. Every field participates in determinism: the same scenario
+/// plus the same plan replays bit-identically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Scenario {
+    /// Replication driver.
+    pub driver: Driver,
+    /// Engine version (ignored by [`Driver::Active`], which is always
+    /// Version 3 on the primary).
+    pub version: VersionTag,
+    /// Benchmark transaction stream.
+    pub workload: WorkloadKind,
+    /// Transactions the primary attempts.
+    pub txns: u64,
+    /// Database region length in bytes.
+    pub db_len: u64,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Run commits 2-safe (active driver only; passive/standalone runs
+    /// are 1-safe like the paper's measurements).
+    pub two_safe: bool,
+}
+
+impl Scenario {
+    /// A small standalone scenario (the exhaustive-sweep default). The
+    /// database is the smallest each benchmark accepts: 64 KiB for
+    /// Debit-Credit, one warehouse (1 MiB) for Order-Entry.
+    pub fn standalone(version: VersionTag, workload: WorkloadKind) -> Self {
+        let db_len = match workload {
+            WorkloadKind::DebitCredit => 64 << 10,
+            WorkloadKind::OrderEntry => 1 << 20,
+        };
+        Scenario {
+            driver: Driver::Standalone,
+            version,
+            workload,
+            txns: 4,
+            db_len,
+            seed: 0xD5,
+            two_safe: false,
+        }
+    }
+
+    /// A small passive-cluster scenario.
+    pub fn passive(version: VersionTag, workload: WorkloadKind) -> Self {
+        Scenario {
+            driver: Driver::Passive,
+            ..Scenario::standalone(version, workload)
+        }
+    }
+
+    /// A small active-cluster scenario (primary is always Version 3).
+    pub fn active(workload: WorkloadKind) -> Self {
+        Scenario {
+            driver: Driver::Active,
+            ..Scenario::standalone(VersionTag::ImprovedLog, workload)
+        }
+    }
+
+    /// Overrides the transaction count.
+    pub fn with_txns(mut self, txns: u64) -> Self {
+        self.txns = txns;
+        self
+    }
+
+    /// Overrides the workload seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Commits 2-safe (meaningful for the active driver only).
+    pub fn two_safe(mut self) -> Self {
+        self.two_safe = true;
+        self
+    }
+
+    /// The version index (0-3) used in labels.
+    pub fn version_index(&self) -> usize {
+        VersionTag::ALL
+            .iter()
+            .position(|v| *v == self.version)
+            .expect("VersionTag::ALL is exhaustive")
+    }
+
+    /// A stable, filesystem- and `simdiff`-safe label:
+    /// `passive-v1-debit-credit`. No dots (the flattened metric paths in
+    /// `faultcov.json` use dots as separators).
+    pub fn label(&self) -> String {
+        let workload = match self.workload {
+            WorkloadKind::DebitCredit => "debit-credit",
+            WorkloadKind::OrderEntry => "order-entry",
+        };
+        let safety = if self.two_safe { "-2safe" } else { "" };
+        format!(
+            "{}-v{}-{}{}",
+            self.driver.label(),
+            self.version_index(),
+            workload,
+            safety
+        )
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} txns, {} KiB db, seed {})",
+            self.label(),
+            self.txns,
+            self.db_len >> 10,
+            self.seed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable_and_dot_free() {
+        let s = Scenario::passive(VersionTag::MirrorCopy, WorkloadKind::DebitCredit);
+        assert_eq!(s.label(), "passive-v1-debit-credit");
+        let a = Scenario::active(WorkloadKind::OrderEntry);
+        assert_eq!(a.label(), "active-v3-order-entry");
+        assert!(!a.label().contains('.'));
+        let mut two = a;
+        two.two_safe = true;
+        assert_eq!(two.label(), "active-v3-order-entry-2safe");
+    }
+}

@@ -52,6 +52,12 @@ struct Emitter<T: Tracer> {
     /// attributed: [`StallCause::PostedWindow`] on the store path,
     /// [`StallCause::WbufFlush`] while a barrier drains partial buffers.
     stall_cause: StallCause,
+    /// SAN packets emitted so far (monotone; counts attempts that reached
+    /// the link, not packets swallowed by a fault).
+    emitted: u64,
+    /// Armed fault: remaining packets before a simulated halt. At zero the
+    /// next emission panics *before* the packet reaches the link.
+    packet_budget: Option<u64>,
 }
 
 impl<T: Tracer> Emitter<T> {
@@ -60,6 +66,20 @@ impl<T: Tracer> Emitter<T> {
         if payload == 0 {
             return;
         }
+        match &mut self.packet_budget {
+            None => {}
+            Some(0) => {
+                self.tracer.instant(
+                    self.track,
+                    dsnrep_obs::TraceEventKind::FaultInjected,
+                    clock.now(),
+                    self.emitted,
+                );
+                panic!("dsnrep fault injection: simulated halt at SAN packet boundary");
+            }
+            Some(budget) => *budget -= 1,
+        }
+        self.emitted += 1;
         // Release completed packets.
         while let Some(&(done, bytes)) = self.outstanding.front() {
             if done <= clock.now() {
@@ -207,6 +227,8 @@ impl<T: Tracer> TxPort<T> {
                 tracer,
                 track,
                 stall_cause: StallCause::PostedWindow,
+                emitted: 0,
+                packet_budget: None,
             },
         }
     }
@@ -327,6 +349,28 @@ impl<T: Tracer> TxPort<T> {
     /// Packets flushed to the link but not yet applied to the peer.
     pub fn inflight_packets(&self) -> usize {
         self.tx.inflight.len()
+    }
+
+    /// SAN packets this port has emitted so far (monotone).
+    pub fn packets_emitted(&self) -> u64 {
+        self.tx.emitted
+    }
+
+    /// Arms a fault: the node halts (panics) when it tries to emit the
+    /// `(budget + 1)`-th packet from now; `0` halts on the very next
+    /// emission, before the packet reaches the link.
+    pub fn inject_crash_after_packets(&mut self, budget: u64) {
+        self.tx.packet_budget = Some(budget);
+    }
+
+    /// Whether an armed packet budget has been exhausted.
+    pub fn has_packet_halted(&self) -> bool {
+        self.tx.packet_budget == Some(0)
+    }
+
+    /// Disarms any pending (or tripped) packet-budget fault.
+    pub fn clear_packet_fault(&mut self) {
+        self.tx.packet_budget = None;
     }
 
     /// The shared link (for reading traffic statistics).
@@ -534,6 +578,28 @@ mod tests {
         let attributed =
             clock.stalled_by(StallCause::PostedWindow) + clock.stalled_by(StallCause::WbufFlush);
         assert_eq!(attributed, clock.stalled());
+    }
+
+    #[test]
+    fn packet_budget_halts_before_the_packet_reaches_the_link() {
+        let (_, link, peer, mut port, mut clock) = setup();
+        port.store(&mut clock, Addr::new(0), &[1; 32], TrafficClass::Modified);
+        assert_eq!(port.packets_emitted(), 1);
+        port.inject_crash_after_packets(1);
+        port.store(&mut clock, Addr::new(64), &[2; 32], TrafficClass::Modified);
+        assert_eq!(port.packets_emitted(), 2);
+        assert!(port.has_packet_halted());
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            port.store(&mut clock, Addr::new(128), &[3; 32], TrafficClass::Modified);
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("fault injection"), "unexpected panic: {msg}");
+        // The third packet never reached the link.
+        assert_eq!(link.borrow().traffic().total_packets(), 2);
+        port.clear_packet_fault();
+        port.quiesce(&mut clock);
+        assert_eq!(peer.borrow().read_vec(Addr::new(64), 32), vec![2; 32]);
     }
 
     #[test]

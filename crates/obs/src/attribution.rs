@@ -102,6 +102,9 @@ pub struct NodeAttribution {
     pub packets: u64,
     /// Payload bytes per [`TrafficClass`] index.
     pub bytes_by_class: [u64; 3],
+    /// Injected faults that fired on this node
+    /// ([`TraceEventKind::FaultInjected`](crate::TraceEventKind::FaultInjected)).
+    pub faults: u64,
     /// Observed per-phase time (ring contents; informational).
     pub phases: Vec<PhaseProfile>,
     /// `true` when the ring dropped spans, i.e. `phases` under-counts.
@@ -182,6 +185,7 @@ impl AttributionTree {
             clock,
             packets: 0,
             bytes_by_class: [0; 3],
+            faults: 0,
             phases: Vec::new(),
             phases_partial: false,
         });
@@ -191,11 +195,13 @@ impl AttributionTree {
     /// the observed phase profile land on the node with the matching track.
     pub fn fold_recorder(&mut self, recorder: &FlightRecorder) {
         let partial = recorder.dropped_spans() > 0;
+        let faults = recorder.instants_of(crate::TraceEventKind::FaultInjected);
         for node in &mut self.nodes {
             node.packets = recorder.packets(node.track);
             for class in TrafficClass::ALL {
                 node.bytes_by_class[class.index()] = recorder.class_bytes(node.track, class);
             }
+            node.faults = faults.iter().filter(|i| i.track == node.track).count() as u64;
             let mut picos = [0u64; Phase::ALL.len()];
             let mut count = [0u64; Phase::ALL.len()];
             for span in recorder.spans() {
@@ -300,6 +306,7 @@ impl AttributionTree {
                 node.bytes_by_class[TrafficClass::Undo.index()],
                 node.bytes_by_class[TrafficClass::Meta.index()]
             );
+            let _ = writeln!(out, "      \"faults\": {},", node.faults);
             let _ = write!(
                 out,
                 "      \"phases\": {{\"observed_complete\": {}",
@@ -374,6 +381,9 @@ impl AttributionTree {
                 node.bytes_by_class[TrafficClass::Undo.index()],
                 node.bytes_by_class[TrafficClass::Meta.index()]
             );
+            if node.faults > 0 {
+                let _ = writeln!(out, "  injected faults fired: {}", node.faults);
+            }
             if !node.phases.is_empty() {
                 let qualifier = if node.phases_partial {
                     " (partial: ring dropped spans)"
@@ -473,6 +483,12 @@ mod tests {
             VirtualInstant::from_picos(30),
             VirtualInstant::from_picos(90),
         );
+        rec.instant(
+            1,
+            crate::TraceEventKind::FaultInjected,
+            VirtualInstant::from_picos(40),
+            3,
+        );
         let mut tree = AttributionTree::new("unit", "v3");
         tree.add_node("primary", 0, conserving_clock());
         tree.add_node("backup", 1, conserving_clock());
@@ -480,6 +496,7 @@ mod tests {
         let primary = &tree.nodes[0];
         assert_eq!(primary.packets, 1);
         assert_eq!(primary.bytes_by_class, [32, 0, 4]);
+        assert_eq!(primary.faults, 0);
         assert_eq!(
             primary.phases,
             vec![PhaseProfile {
@@ -491,6 +508,7 @@ mod tests {
         assert!(!primary.phases_partial);
         let backup = &tree.nodes[1];
         assert_eq!(backup.packets, 0);
+        assert_eq!(backup.faults, 1);
         assert_eq!(
             backup.phases,
             vec![PhaseProfile {
@@ -531,6 +549,7 @@ mod tests {
         assert!(json.contains("\"cpu_issue\": 40"));
         assert!(json.contains("\"san_undo\": 5"));
         assert!(json.contains("\"posted_window\": 20"));
+        assert!(json.contains("\"faults\": 0"));
         assert!(json.contains("\"observed_complete\": true"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

@@ -75,6 +75,9 @@ pub enum TraceEventKind {
     FailoverComplete,
     /// A consistency audit found a violation (argument: violation count).
     AuditViolation,
+    /// An armed fault fired: a simulated halt at a store, SAN packet, or
+    /// recovery-write boundary (argument: the boundary counter at the halt).
+    FaultInjected,
 }
 
 impl TraceEventKind {
@@ -85,6 +88,7 @@ impl TraceEventKind {
             TraceEventKind::RecoveryStart => "recovery_start",
             TraceEventKind::FailoverComplete => "failover_complete",
             TraceEventKind::AuditViolation => "audit_violation",
+            TraceEventKind::FaultInjected => "fault_injected",
         }
     }
 }

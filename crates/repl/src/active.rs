@@ -467,7 +467,15 @@ impl<T: Tracer + 'static> ActiveCluster<T> {
     ///
     /// Returns [`LayoutError`] if the backup arena is unreadable (cannot
     /// happen in a correctly wired cluster).
-    pub fn crash_primary(mut self) -> Result<Failover<T>, LayoutError> {
+    pub fn crash_primary(self) -> Result<Failover<T>, LayoutError> {
+        self.begin_takeover().recover()
+    }
+
+    /// Crashes the primary and hands back the promoted-but-unrecovered
+    /// backup as an [`ActiveTakeover`]. Fault campaigns use the split to
+    /// arm mid-recovery faults before calling [`ActiveTakeover::recover`];
+    /// [`ActiveCluster::crash_primary`] is the one-shot composition.
+    pub fn begin_takeover(mut self) -> ActiveTakeover<T> {
         self.machine.trace_event(TraceEventKind::PrimaryCrash, 0);
         let crash_at = self.machine.crash();
         // Drop the engine first so its Rc handle to the backup goes away.
@@ -477,20 +485,101 @@ impl<T: Tracer + 'static> ActiveCluster<T> {
             .into_inner();
         let BackupNode {
             mut machine,
-            mut reader,
+            reader,
         } = backup;
-        // Apply everything that was delivered before the crash.
         machine.clock_mut().advance_to(crash_at);
-        reader.poll(&mut machine);
-        let applied = reader.applied_seq();
+        ActiveTakeover { machine, reader }
+    }
+}
+
+/// A promoted active backup that has not yet run its takeover procedure:
+/// the redo ring has not been drained, the sequence roots are unstamped.
+///
+/// Mirrors [`Takeover`](crate::Takeover) for the active scheme: a fault
+/// campaign arms a write budget on [`ActiveTakeover::machine_mut`],
+/// catches the halt from [`ActiveTakeover::recover`], and re-enters over
+/// the surviving arena via [`ActiveTakeover::resume`]. The procedure is
+/// idempotent: redo records are absolute writes, so a fresh poll re-applies
+/// them byte-identically, and the sequence root is kept monotone.
+#[derive(Debug)]
+pub struct ActiveTakeover<T: Tracer + 'static = NullTracer> {
+    machine: Machine<T>,
+    reader: RedoReader,
+}
+
+impl<T: Tracer + 'static> ActiveTakeover<T> {
+    /// Rebuilds a takeover over a surviving backup arena after a caught
+    /// mid-recovery halt: a fresh (cold-cache, portless) machine at
+    /// virtual time `at` and a fresh reader over the same ring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] if the arena does not carry a formatted
+    /// layout.
+    pub fn resume(
+        costs: CostModel,
+        arena: Rc<RefCell<Arena>>,
+        tracer: T,
+        at: VirtualInstant,
+    ) -> Result<Self, LayoutError> {
+        let layout = Layout::read(&arena.borrow())?;
+        let ring = layout.expect_region(RegionId::RedoRing);
+        let db = layout.expect_region(RegionId::Database);
+        let mut machine = Machine::standalone_traced(costs, arena, tracer, TRACK_BACKUP);
+        machine.clock_mut().advance_to(at);
+        Ok(ActiveTakeover {
+            machine,
+            reader: RedoReader::new(ring, db),
+        })
+    }
+
+    /// The promoted backup's arena handle (hold a clone across
+    /// [`ActiveTakeover::recover`] to survive an injected halt).
+    pub fn arena(&self) -> Rc<RefCell<Arena>> {
+        Rc::clone(self.machine.arena())
+    }
+
+    /// The promoted backup's current virtual time.
+    pub fn now(&self) -> VirtualInstant {
+        self.machine.now()
+    }
+
+    /// The promoted backup machine (fault campaigns arm budgets here).
+    pub fn machine_mut(&mut self) -> &mut Machine<T> {
+        &mut self.machine
+    }
+
+    /// Drains the redo ring, stamps the sequence roots, and brings the
+    /// backup up as a standalone Version 3 engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] if the backup arena is unreadable (cannot
+    /// happen in a correctly wired cluster).
+    ///
+    /// # Panics
+    ///
+    /// Panics mid-recovery when an injected fault fires (by design — the
+    /// caller catches the unwind and may [`ActiveTakeover::resume`]).
+    pub fn recover(mut self) -> Result<Failover<T>, LayoutError> {
+        // Apply everything that was delivered before the crash.
+        self.reader.poll(&mut self.machine);
+        let applied = self.reader.applied_seq();
         // Stamp the recovered sequence into the arena roots so the engine
-        // reports the right committed count.
-        {
-            let mut arena = machine.arena().borrow_mut();
+        // reports the right committed count. The sequence root is monotone:
+        // a takeover re-entered after a mid-recovery halt may find the
+        // roots already stamped and the ring already reset — a fresh poll
+        // then applies nothing, so keep the larger count.
+        let applied = {
+            let mut arena = self.machine.arena().borrow_mut();
+            let stamped = arena.read_u64(Layout::root_addr(RootSlot::LogPtr)) >> 32;
+            let applied = applied.max(stamped);
             arena.write_u64(Layout::root_addr(RootSlot::LogPtr), applied << 32);
             arena.write_u64(Layout::root_addr(RootSlot::RingProducer), 0);
             arena.write_u64(Layout::root_addr(RootSlot::RingConsumer), 0);
-        }
+            applied
+        };
+        let mut machine = self.machine;
         machine.crash(); // cold cache; drop the reverse port's in-flight
         machine.clear_replication();
         let start = machine.now();

@@ -47,6 +47,6 @@ mod active;
 mod passive;
 mod smp;
 
-pub use active::{ActiveCluster, ActivePrimaryEngine, BackupNode};
-pub use passive::{Failover, PassiveCluster};
+pub use active::{ActiveCluster, ActivePrimaryEngine, ActiveTakeover, BackupNode};
+pub use passive::{Failover, PassiveCluster, Takeover};
 pub use smp::{Scheme, SmpExperiment, SmpReport};

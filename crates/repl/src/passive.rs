@@ -22,7 +22,7 @@ use dsnrep_mcsim::{Link, Traffic, TxPort};
 use dsnrep_obs::{NullTracer, TraceEventKind, Tracer, TRACK_BACKUP, TRACK_PRIMARY};
 use dsnrep_rio::Arena;
 use dsnrep_simcore::CostModel;
-use dsnrep_simcore::{TrafficClass, VirtualDuration};
+use dsnrep_simcore::{TrafficClass, VirtualDuration, VirtualInstant};
 use dsnrep_workloads::{ThroughputReport, TxCtx, Workload};
 
 /// The outcome of a backup takeover.
@@ -293,7 +293,20 @@ impl<T: Tracer + 'static> PassiveCluster<T> {
     /// # Panics
     ///
     /// Panics if `index` is out of range.
-    pub fn crash_primary_to(mut self, index: usize) -> Failover<T> {
+    pub fn crash_primary_to(self, index: usize) -> Failover<T> {
+        self.begin_takeover(index).recover()
+    }
+
+    /// Crashes the primary and hands back the promoted-but-unrecovered
+    /// backup as a [`Takeover`]. Fault campaigns use the split to arm
+    /// mid-recovery faults on the backup before calling
+    /// [`Takeover::recover`]; [`PassiveCluster::crash_primary_to`] is the
+    /// one-shot composition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn begin_takeover(mut self, index: usize) -> Takeover<T> {
         let crashed_at = self.machine.now();
         self.machine
             .trace_event(TraceEventKind::PrimaryCrash, index as u64);
@@ -309,39 +322,10 @@ impl<T: Tracer + 'static> PassiveCluster<T> {
         // promoted timeline starts at the crash instant, which keeps the
         // merged flight-recorder trace causal across tracks.
         backup_machine.clock_mut().advance_to(crashed_at);
-        let start = backup_machine.now();
-        backup_machine.trace_event(TraceEventKind::RecoveryStart, 0);
-        if matches!(
-            self.version,
-            VersionTag::MirrorCopy | VersionTag::MirrorDiff
-        ) {
-            // Paper §5.1: the backup copies the entire database from the
-            // mirror (the set-range array was never replicated). Charge the
-            // copy: a cache-model read and write per chunk.
-            let bytes = MirrorEngine::backup_restore(&mut backup_machine.arena().borrow_mut())
-                .expect("backup arena carries the replicated layout");
-            let chunk_lines = bytes.div_ceil(self.costs.cache_line);
-            // Both source and destination stream through the cache: model
-            // as two misses per line plus the copy loop.
-            backup_machine.charge(self.costs.cache_miss * (2 * chunk_lines));
-            backup_machine.charge(VirtualDuration::from_picos(
-                self.costs.copy_per_byte.as_picos() * bytes,
-            ));
-        }
-        let mut engine = attach_engine(self.version, &mut backup_machine);
-        let report = engine.recover(&mut backup_machine);
-        // Recovery restores are unaccounted inside the engine (failure
-        // path); charge them here at copy speed.
-        backup_machine.charge(VirtualDuration::from_picos(
-            self.costs.copy_per_byte.as_picos() * report.bytes_restored,
-        ));
-        let recovery_time = backup_machine.now().duration_since(start);
-        backup_machine.trace_event(TraceEventKind::FailoverComplete, report.committed_seq);
-        Failover {
+        Takeover {
+            version: self.version,
+            costs: self.costs,
             machine: backup_machine,
-            engine,
-            report,
-            recovery_time,
         }
     }
 
@@ -349,5 +333,108 @@ impl<T: Tracer + 'static> PassiveCluster<T> {
     /// write buffers and delivers everything in flight to the backup.
     pub fn quiesce(&mut self) {
         self.machine.quiesce();
+    }
+}
+
+/// A promoted backup that has not yet run recovery: the state between
+/// "the primary is gone" and "the backup is serving".
+///
+/// The split exists for fault injection: a campaign can arm an arena
+/// write budget on [`Takeover::machine_mut`], catch the simulated halt
+/// from [`Takeover::recover`], and re-enter recovery over the surviving
+/// arena with [`Takeover::resume`] — the paper's recovery procedures are
+/// idempotent, so a crashed recovery is just another crash to recover
+/// from.
+#[derive(Debug)]
+pub struct Takeover<T: Tracer + 'static = NullTracer> {
+    version: VersionTag,
+    costs: CostModel,
+    machine: Machine<T>,
+}
+
+impl<T: Tracer + 'static> Takeover<T> {
+    /// Rebuilds a takeover over a surviving backup arena, e.g. after a
+    /// mid-recovery halt was caught: a fresh (cold-cache) machine at
+    /// virtual time `at` over the same recoverable memory.
+    pub fn resume(
+        version: VersionTag,
+        costs: CostModel,
+        arena: Rc<RefCell<Arena>>,
+        tracer: T,
+        at: VirtualInstant,
+    ) -> Self {
+        let mut machine = Machine::standalone_traced(costs.clone(), arena, tracer, TRACK_BACKUP);
+        machine.clock_mut().advance_to(at);
+        Takeover {
+            version,
+            costs,
+            machine,
+        }
+    }
+
+    /// The engine version being recovered.
+    pub fn version(&self) -> VersionTag {
+        self.version
+    }
+
+    /// The promoted backup's arena handle (hold a clone across
+    /// [`Takeover::recover`] to survive an injected mid-recovery halt).
+    pub fn arena(&self) -> Rc<RefCell<Arena>> {
+        Rc::clone(self.machine.arena())
+    }
+
+    /// The promoted backup's current virtual time.
+    pub fn now(&self) -> VirtualInstant {
+        self.machine.now()
+    }
+
+    /// The promoted backup machine (fault campaigns arm budgets here).
+    pub fn machine_mut(&mut self) -> &mut Machine<T> {
+        &mut self.machine
+    }
+
+    /// Runs the version's recovery procedure and completes the failover.
+    ///
+    /// # Panics
+    ///
+    /// Panics mid-recovery when an injected fault fires (by design — the
+    /// caller catches the unwind and may [`Takeover::resume`]).
+    pub fn recover(mut self) -> Failover<T> {
+        let start = self.machine.now();
+        self.machine.trace_event(TraceEventKind::RecoveryStart, 0);
+        if matches!(
+            self.version,
+            VersionTag::MirrorCopy | VersionTag::MirrorDiff
+        ) {
+            // Paper §5.1: the backup copies the entire database from the
+            // mirror (the set-range array was never replicated). Charge the
+            // copy: a cache-model read and write per chunk.
+            let bytes = MirrorEngine::backup_restore(&mut self.machine.arena().borrow_mut())
+                .expect("backup arena carries the replicated layout");
+            let chunk_lines = bytes.div_ceil(self.costs.cache_line);
+            // Both source and destination stream through the cache: model
+            // as two misses per line plus the copy loop.
+            self.machine
+                .charge(self.costs.cache_miss * (2 * chunk_lines));
+            self.machine.charge(VirtualDuration::from_picos(
+                self.costs.copy_per_byte.as_picos() * bytes,
+            ));
+        }
+        let mut engine = attach_engine(self.version, &mut self.machine);
+        let report = engine.recover(&mut self.machine);
+        // Recovery restores are unaccounted inside the engine (failure
+        // path); charge them here at copy speed.
+        self.machine.charge(VirtualDuration::from_picos(
+            self.costs.copy_per_byte.as_picos() * report.bytes_restored,
+        ));
+        let recovery_time = self.machine.now().duration_since(start);
+        self.machine
+            .trace_event(TraceEventKind::FailoverComplete, report.committed_seq);
+        Failover {
+            machine: self.machine,
+            engine,
+            report,
+            recovery_time,
+        }
     }
 }

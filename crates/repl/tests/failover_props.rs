@@ -1,108 +1,58 @@
-//! Property tests: failover at randomized crash points, across versions,
-//! workloads and durability modes, against the re-execution oracle.
+//! Failover smoke tests: sequence-level guarantees only.
+//!
+//! The randomized crash-point sweeps with byte-level oracle checking that
+//! used to live here (plus their private re-execution reference harness)
+//! moved to `crates/faultsim`: `dsnrep_faultsim::random_campaign` and
+//! `exhaustive_single_fault` now drive failover at arbitrary store,
+//! packet and transaction boundaries against the shared shadow oracle,
+//! expressed as FaultPlan schedules (see `crates/faultsim/tests/`).
+//! These tests keep only the driver-level sequence contracts, with no
+//! duplicated crash-scheduling or reference scaffolding.
 
-use dsnrep_core::{build_engine, Durability, EngineConfig, Machine, ShadowDb, VersionTag};
+use dsnrep_core::{Durability, EngineConfig, VersionTag};
 use dsnrep_repl::{ActiveCluster, PassiveCluster};
 use dsnrep_simcore::{CostModel, MIB};
-use dsnrep_workloads::{TxCtx, WorkloadKind};
-use proptest::prelude::*;
+use dsnrep_workloads::WorkloadKind;
 
 const DB: u64 = MIB;
+const RUN_LEN: u64 = 120;
 
-fn version_strategy() -> impl Strategy<Value = VersionTag> {
-    prop_oneof![
-        Just(VersionTag::Vista),
-        Just(VersionTag::MirrorCopy),
-        Just(VersionTag::MirrorDiff),
-        Just(VersionTag::ImprovedLog),
-    ]
-}
-
-/// Reference image + tail spans at a given boundary (deterministic
-/// re-execution of the seeded workload).
-fn reference(seed: u64, txns: u64) -> (Vec<u8>, Vec<(u64, u64)>) {
-    let config = EngineConfig::for_db(DB);
-    let arena = dsnrep_core::shared_arena(dsnrep_core::arena_len(VersionTag::ImprovedLog, &config));
-    let mut m = Machine::standalone(CostModel::alpha_21164a(), arena);
-    let mut engine = build_engine(VersionTag::ImprovedLog, &mut m, &config);
-    let db = engine.db_region();
-    let mut workload = WorkloadKind::DebitCredit.build(db, seed);
-    let mut shadow = ShadowDb::new(db);
-    for _ in 0..txns {
-        let mut ctx = TxCtx::new(&mut m, engine.as_mut()).with_shadow(&mut shadow);
-        workload.run_txn(&mut ctx).expect("reference transaction");
-    }
-    let image = m.arena().borrow().read_vec(db.start(), db.len() as usize);
-    let mut spans = Vec::new();
-    for _ in 0..8 {
-        let mut ctx = TxCtx::new(&mut m, engine.as_mut()).with_shadow(&mut shadow);
-        workload.run_txn(&mut ctx).expect("tail transaction");
-        spans.extend_from_slice(shadow.last_txn_spans());
-    }
-    (image, spans)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Passive failover at an arbitrary crash point recovers a transaction
-    /// boundary with at most a contained torn tail.
-    #[test]
-    fn passive_failover_at_random_points(
-        version in version_strategy(),
-        run_len in 10u64..250,
-        seed in 1u64..1000,
-    ) {
+#[test]
+fn passive_failover_recovers_a_recent_boundary_every_version() {
+    for version in VersionTag::ALL {
         let config = EngineConfig::for_db(DB);
         let mut cluster = PassiveCluster::new(CostModel::alpha_21164a(), version, &config);
-        let mut workload = WorkloadKind::DebitCredit.build(cluster.engine().db_region(), seed);
-        cluster.run(workload.as_mut(), run_len);
+        let mut workload = WorkloadKind::DebitCredit.build(cluster.engine().db_region(), 7);
+        cluster.run(workload.as_mut(), RUN_LEN);
         let failover = cluster.crash_primary();
         let recovered = failover.report.committed_seq;
-        prop_assert!(recovered <= run_len, "{version}: recovered {recovered} > {run_len}");
-        prop_assert!(run_len - recovered < 64, "{version}: lost {}", run_len - recovered);
-
-        let (image, tail_spans) = reference(seed, recovered);
-        let db = failover.engine.db_region();
-        let actual = failover.machine.arena().borrow().read_vec(db.start(), db.len() as usize);
-        for (off, (a, b)) in image.iter().zip(actual.iter()).enumerate() {
-            if a != b {
-                let contained = tail_spans
-                    .iter()
-                    .any(|&(s, l)| (off as u64) >= s && (off as u64) < s + l);
-                prop_assert!(
-                    contained,
-                    "{version}: torn byte at {off} outside the in-flight ranges"
-                );
-            }
-        }
+        assert!(
+            recovered <= RUN_LEN,
+            "{version}: recovered {recovered} > {RUN_LEN}"
+        );
+        assert!(
+            RUN_LEN - recovered < 64,
+            "{version}: lost {} transactions",
+            RUN_LEN - recovered
+        );
     }
+}
 
-    /// Active failover at an arbitrary crash point is byte-exact at the
-    /// recovered boundary, in both durability modes.
-    #[test]
-    fn active_failover_at_random_points(
-        run_len in 10u64..250,
-        seed in 1u64..1000,
-        two_safe in any::<bool>(),
-    ) {
+#[test]
+fn active_failover_respects_durability_modes() {
+    for two_safe in [false, true] {
         let config = EngineConfig::for_db(DB);
         let mut cluster = ActiveCluster::new(CostModel::alpha_21164a(), &config);
         if two_safe {
             cluster.set_durability(Durability::TwoSafe);
         }
-        let mut workload = WorkloadKind::DebitCredit.build(cluster.db_region(), seed);
-        cluster.run(workload.as_mut(), run_len);
+        let mut workload = WorkloadKind::DebitCredit.build(cluster.db_region(), 7);
+        cluster.run(workload.as_mut(), RUN_LEN);
         let failover = cluster.crash_primary().expect("backup formats");
         let recovered = failover.report.committed_seq;
-        prop_assert!(recovered <= run_len);
+        assert!(recovered <= RUN_LEN);
         if two_safe {
-            prop_assert_eq!(recovered, run_len, "2-safe loses nothing");
+            assert_eq!(recovered, RUN_LEN, "2-safe loses nothing");
         }
-        let (image, _) = reference(seed, recovered);
-        let db = failover.engine.db_region();
-        let actual = failover.machine.arena().borrow().read_vec(db.start(), db.len() as usize);
-        let mismatch = image.iter().zip(actual.iter()).position(|(a, b)| a != b);
-        prop_assert_eq!(mismatch, None, "active failover must be byte-exact");
     }
 }

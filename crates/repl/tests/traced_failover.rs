@@ -5,7 +5,10 @@
 //! `takeover_timeline` reproduces the same serving delay after view
 //! installation.
 
-use dsnrep_cluster::{takeover_timeline, HeartbeatConfig, NodeId, ViewManager};
+use dsnrep_cluster::{
+    takeover_timeline, takeover_timeline_with_faults, HeartbeatConfig, HeartbeatFaults, NodeId,
+    ViewManager,
+};
 use dsnrep_core::{EngineConfig, VersionTag};
 use dsnrep_obs::{FlightRecorder, TraceEventKind, TRACK_BACKUP, TRACK_PRIMARY};
 use dsnrep_repl::{ActiveCluster, PassiveCluster};
@@ -125,4 +128,62 @@ fn recorder_recovery_matches_takeover_timeline() {
     );
     assert!(timeline.outage() >= traced_recovery);
     assert_eq!(views.current().primary(), NodeId::new(1));
+}
+
+#[test]
+fn recovery_accounting_survives_injected_heartbeat_delay() {
+    // An injected heartbeat delivery delay stretches *detection*, never
+    // *recovery*: the driver-reported recovery time, the recorder's
+    // recovery_start -> failover_complete interval, and the timeline's
+    // view-installation-to-serving delay must all stay equal to each
+    // other — and equal to the undelayed case — while the detection edge
+    // absorbs exactly the injected delay.
+    let (recorder, recovery_time, _) = passive_failover(VersionTag::ImprovedLog);
+    let (_, started_at, completed_at, _) = failover_events(&recorder);
+    let traced_recovery = completed_at.saturating_duration_since(started_at);
+    assert_eq!(
+        traced_recovery, recovery_time,
+        "recorder spans disagree with the driver before any fault"
+    );
+
+    let crash = VirtualInstant::EPOCH + VirtualDuration::from_millis(10);
+    let delay = VirtualDuration::from_micros(700);
+    let timeline_for = |faults: HeartbeatFaults| {
+        let mut views =
+            ViewManager::new(NodeId::new(0), vec![NodeId::new(1)], VirtualInstant::EPOCH);
+        takeover_timeline_with_faults(
+            HeartbeatConfig::default(),
+            VirtualDuration::from_micros(3),
+            crash,
+            recovery_time,
+            &mut views,
+            faults,
+        )
+        .expect("two-node cluster has a successor")
+    };
+    let clean = timeline_for(HeartbeatFaults::default());
+    let delayed = timeline_for(HeartbeatFaults {
+        delay,
+        drop_after: None,
+    });
+
+    // Recovery accounting is fault-invariant...
+    for t in [&clean, &delayed] {
+        assert_eq!(
+            t.serving_at.saturating_duration_since(t.view_installed_at),
+            traced_recovery,
+            "view-installation-to-serving delay != flight-recorder recovery interval"
+        );
+    }
+    // ...while the detection edge absorbs exactly the injected delay.
+    assert_eq!(
+        delayed.detected_at,
+        clean.detected_at + delay,
+        "detection must shift by exactly the injected heartbeat delay"
+    );
+    assert_eq!(
+        delayed.outage(),
+        clean.outage() + delay,
+        "the extra outage must be all detection, none of it recovery"
+    );
 }

@@ -42,6 +42,18 @@ pub struct Arena {
     /// (called from `Debug` formatting inside hot loops when tracing) is
     /// O(1) instead of a scan of the page vector.
     touched: usize,
+    /// Monotone count of [`Arena::write`] calls. Every mutation funnels
+    /// through `write`, so this counter enumerates the halt points the
+    /// fault-injection layer can crash at — including recovery-procedure
+    /// writes that bypass the machine's store accounting.
+    writes: u64,
+    /// Armed fault: remaining writes before a simulated halt.
+    write_budget: Option<u64>,
+    /// Whether an armed budget actually tripped (a write was attempted
+    /// with the budget at zero). Distinct from the budget *reaching*
+    /// zero: spending the last unit on a successful write has not halted
+    /// anything yet.
+    halted: bool,
 }
 
 impl fmt::Debug for Arena {
@@ -66,6 +78,51 @@ impl Arena {
             pages: vec![None; usize::try_from(pages).expect("arena too large")],
             len,
             touched: 0,
+            writes: 0,
+            write_budget: None,
+            halted: false,
+        }
+    }
+
+    /// Monotone count of [`Arena::write`] calls since construction (clones
+    /// inherit the count). Recovery procedures mutate the arena directly,
+    /// so deltas of this counter enumerate mid-recovery crash points.
+    #[inline]
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Arms a fault: the arena halts (panics) when `budget` more writes
+    /// have been attempted; `0` halts on the very next write. The halting
+    /// write does **not** mutate the arena.
+    pub fn inject_halt_after_writes(&mut self, budget: u64) {
+        self.write_budget = Some(budget);
+    }
+
+    /// Whether an armed write budget tripped: a write was attempted with
+    /// no budget left (and panicked without mutating the arena).
+    #[inline]
+    pub fn has_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Disarms any pending (or tripped) write-budget fault, e.g. before
+    /// resuming recovery over a surviving arena.
+    pub fn clear_halt(&mut self) {
+        self.write_budget = None;
+        self.halted = false;
+    }
+
+    /// Consumes one unit of the armed write budget, halting at zero.
+    #[inline]
+    fn consume_write_budget(&mut self) {
+        match &mut self.write_budget {
+            None => {}
+            Some(0) => {
+                self.halted = true;
+                panic!("dsnrep fault injection: simulated halt mid-write");
+            }
+            Some(budget) => *budget -= 1,
         }
     }
 
@@ -109,6 +166,8 @@ impl Arena {
     ///
     /// Panics if the range falls outside the arena.
     pub fn write(&mut self, addr: Addr, bytes: &[u8]) {
+        self.consume_write_budget();
+        self.writes += 1;
         self.check(addr, bytes.len());
         let off = addr.as_usize();
         let page_off = off % PAGE_SIZE;
@@ -337,6 +396,39 @@ mod tests {
         a.write(Addr::new(PAGE_SIZE as u64 * 3), &[3]);
         assert_eq!(a.pages_touched(), 2);
         assert_eq!(a.clone().pages_touched(), 2);
+    }
+
+    #[test]
+    fn write_counter_is_monotone_and_cloned() {
+        let mut a = Arena::new(1 << 12);
+        assert_eq!(a.writes(), 0);
+        a.write(Addr::new(0), &[1]);
+        a.write_u64(Addr::new(8), 7);
+        a.copy(Addr::new(0), Addr::new(64), 1); // one write
+        assert_eq!(a.writes(), 3);
+        assert_eq!(a.clone().writes(), 3);
+    }
+
+    #[test]
+    fn write_budget_halts_at_the_exact_write() {
+        let mut a = Arena::new(1 << 12);
+        a.inject_halt_after_writes(2);
+        a.write(Addr::new(0), &[1]);
+        a.write(Addr::new(1), &[2]);
+        assert!(!a.has_halted());
+        let err = std::panic::catch_unwind(core::panic::AssertUnwindSafe(|| {
+            a.write(Addr::new(2), &[3]);
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("fault injection"), "unexpected panic: {msg}");
+        assert!(a.has_halted());
+        // The halting write mutated nothing and did not count.
+        assert_eq!(a.read_vec(Addr::new(2), 1), vec![0]);
+        assert_eq!(a.writes(), 2);
+        a.clear_halt();
+        a.write(Addr::new(2), &[3]);
+        assert_eq!(a.read_vec(Addr::new(0), 3), vec![1, 2, 3]);
     }
 
     #[test]

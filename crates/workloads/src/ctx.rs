@@ -83,7 +83,11 @@ impl<'a, T: Tracer> TxCtx<'a, T> {
     ///
     /// Propagates [`Engine::set_range`] errors.
     pub fn set_range(&mut self, base: Addr, len: u64) -> Result<(), TxError> {
-        self.engine.set_range(self.machine, base, len)
+        self.engine.set_range(self.machine, base, len)?;
+        if let Some(s) = self.shadow.as_deref_mut() {
+            s.declare(base, len);
+        }
+        Ok(())
     }
 
     /// Writes in place (within a declared range).

@@ -24,12 +24,27 @@ use std::time::Instant;
 
 use dsnrep_core::{build_engine, EngineConfig, Machine, VersionTag};
 use dsnrep_mcsim::Traffic;
-use dsnrep_repl::{ActiveCluster, PassiveCluster};
+use dsnrep_repl::{ActiveCluster, PassiveCluster, Scheme, SmpExperiment};
 use dsnrep_simcore::{CostModel, TrafficClass, MIB};
 use dsnrep_workloads::{run_standalone, WorkloadKind};
 
 const DB: u64 = 50 * MIB;
 const SEED: u64 = 42;
+
+/// Streams in the `bigcell` scenario: 32 primaries + 32 backup arenas =
+/// a 64-node cell, the scale the roadmap's RF≥3 work needs to be cheap.
+const BIGCELL_STREAMS: usize = 32;
+
+/// Per-stream database size in the `bigcell` scenario.
+///
+/// Deliberately smaller than the paper's 10 MB per-stream SMP sizing: the
+/// shared link is saturated at this stream count, so the scenario's
+/// *virtual* metrics are database-size invariant (per-stream cache deltas
+/// are absorbed into posted-window stalls) — verified by running the
+/// scenario at 1/2/4/10 MiB and diffing. A small database keeps the host
+/// working set cache-resident, so the *wall* number measures simulator
+/// pipeline overhead rather than host DRAM misses.
+const BIGCELL_DB: u64 = 2 * MIB;
 
 /// Bumped whenever the shape of the emitted JSON changes, so `simdiff` (and
 /// any script trending the numbers across CI runs) can refuse a comparison
@@ -38,7 +53,12 @@ const SEED: u64 = 42;
 /// v3: added the per-scenario `virtual` block (elapsed_ps, tps, packets,
 /// per-class bytes) and renamed the per-scenario wall-throughput key to
 /// `sim_txns_per_wall_sec` so every host-time metric contains `wall`.
-const SCHEMA_VERSION: u32 = 3;
+///
+/// v4: added the `bigcell` 64-node cell scenario, a per-scenario `txns`
+/// count (scenarios no longer all run exactly `txns_per_scenario`), and
+/// `wall_host_cores` (host core count, named with `wall` so cross-machine
+/// diffs only warn).
+const SCHEMA_VERSION: u32 = 4;
 
 /// The deterministic virtual-time footprint of one scenario. Identical
 /// costs, seed and transaction count must reproduce these bit-for-bit.
@@ -71,6 +91,9 @@ impl VirtMetrics {
 /// footprint `simdiff` gates on.
 struct Scenario {
     name: &'static str,
+    /// Transactions this scenario actually simulated (the `bigcell`
+    /// scenario rounds to a whole number per stream).
+    txns: u64,
     txns_per_wall_sec: f64,
     wall_secs: f64,
     virt: VirtMetrics,
@@ -81,6 +104,15 @@ fn txns_per_scenario() -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(50_000)
+}
+
+/// Development-only scenario filter: `DSNREP_SIMPERF_ONLY=a,b` runs just the
+/// named scenarios (e.g. to profile one hot path). The emitted JSON then
+/// omits the other scenarios, so it is not comparable with the full
+/// baseline — CI always runs unfiltered.
+fn scenario_filter() -> Option<Vec<String>> {
+    let raw = std::env::var("DSNREP_SIMPERF_ONLY").ok()?;
+    Some(raw.split(',').map(|s| s.trim().to_string()).collect())
 }
 
 fn standalone_scenario(name: &'static str, version: VersionTag, txns: u64) -> Scenario {
@@ -94,6 +126,7 @@ fn standalone_scenario(name: &'static str, version: VersionTag, txns: u64) -> Sc
     let wall_secs = t0.elapsed().as_secs_f64();
     Scenario {
         name,
+        txns,
         txns_per_wall_sec: txns as f64 / wall_secs,
         wall_secs,
         virt: VirtMetrics {
@@ -117,6 +150,7 @@ fn passive_scenario(name: &'static str, version: VersionTag, txns: u64) -> Scena
     cluster.quiesce();
     Scenario {
         name,
+        txns,
         txns_per_wall_sec: txns as f64 / wall_secs,
         wall_secs,
         virt: VirtMetrics::from_traffic(
@@ -137,6 +171,7 @@ fn active_scenario(name: &'static str, txns: u64) -> Scenario {
     cluster.settle();
     Scenario {
         name,
+        txns,
         txns_per_wall_sec: txns as f64 / wall_secs,
         wall_secs,
         virt: VirtMetrics::from_traffic(
@@ -147,24 +182,75 @@ fn active_scenario(name: &'static str, txns: u64) -> Scenario {
     }
 }
 
+/// The 64-node cell: 32 passive improved-log streams (32 primaries + 32
+/// backup arenas) over one shared link, interleaved in minimum-virtual-time
+/// order — the scenario the batched store pipeline is sized against.
+/// `txns` is a total across streams; each stream runs `txns / 32` (rounded
+/// down, min 1), and the reported `txns` is the actual total simulated.
+fn bigcell_scenario(name: &'static str, txns: u64) -> Scenario {
+    let config = EngineConfig::for_db(BIGCELL_DB);
+    let mut exp = SmpExperiment::new(
+        CostModel::alpha_21164a(),
+        Scheme::Passive(VersionTag::ImprovedLog),
+        WorkloadKind::DebitCredit,
+        &config,
+        BIGCELL_STREAMS,
+    );
+    let per_stream = (txns / BIGCELL_STREAMS as u64).max(1);
+    let total = per_stream * BIGCELL_STREAMS as u64;
+    let t0 = Instant::now();
+    let report = exp.run(per_stream);
+    let wall_secs = t0.elapsed().as_secs_f64();
+    Scenario {
+        name,
+        txns: total,
+        txns_per_wall_sec: total as f64 / wall_secs,
+        wall_secs,
+        virt: VirtMetrics::from_traffic(
+            report.makespan.as_picos(),
+            report.aggregate_tps(),
+            &report.traffic,
+        ),
+    }
+}
+
 fn main() {
     let txns = txns_per_scenario();
+    let filter = scenario_filter();
     let wall = Instant::now();
 
-    let scenarios = [
-        standalone_scenario("standalone_improved_log", VersionTag::ImprovedLog, txns),
-        passive_scenario("passive_vista", VersionTag::Vista, txns),
-        passive_scenario("passive_mirror_copy", VersionTag::MirrorCopy, txns),
-        passive_scenario("passive_improved_log", VersionTag::ImprovedLog, txns),
-        active_scenario("active_redo_ring", txns),
+    type Build = fn(&'static str, u64) -> Scenario;
+    let table: [(&'static str, Build); 6] = [
+        ("standalone_improved_log", |n, t| {
+            standalone_scenario(n, VersionTag::ImprovedLog, t)
+        }),
+        ("passive_vista", |n, t| {
+            passive_scenario(n, VersionTag::Vista, t)
+        }),
+        ("passive_mirror_copy", |n, t| {
+            passive_scenario(n, VersionTag::MirrorCopy, t)
+        }),
+        ("passive_improved_log", |n, t| {
+            passive_scenario(n, VersionTag::ImprovedLog, t)
+        }),
+        ("active_redo_ring", |n, t| active_scenario(n, t)),
+        ("bigcell", bigcell_scenario),
     ];
 
-    let total_txns = txns * scenarios.len() as u64;
+    let scenarios: Vec<Scenario> = table
+        .iter()
+        .filter(|(name, _)| filter.as_ref().is_none_or(|f| f.iter().any(|n| n == name)))
+        .map(|(name, build)| build(name, txns))
+        .collect();
+
+    let total_txns: u64 = scenarios.iter().map(|s| s.txns).sum();
     let total_secs = wall.elapsed().as_secs_f64();
+    let host_cores = std::thread::available_parallelism().map_or(0, usize::from);
 
     println!("{{");
     println!("  \"schema_version\": {SCHEMA_VERSION},");
     println!("  \"txns_per_scenario\": {txns},");
+    println!("  \"wall_host_cores\": {host_cores},");
     println!(
         "  \"sim_txns_per_wallclock_sec\": {:.0},",
         total_txns as f64 / total_secs
@@ -175,8 +261,8 @@ fn main() {
         let comma = if i + 1 < scenarios.len() { "," } else { "" };
         println!("    \"{}\": {{", s.name);
         println!(
-            "      \"sim_txns_per_wall_sec\": {:.0}, \"wall_secs\": {:.3},",
-            s.txns_per_wall_sec, s.wall_secs
+            "      \"txns\": {}, \"sim_txns_per_wall_sec\": {:.0}, \"wall_secs\": {:.3},",
+            s.txns, s.txns_per_wall_sec, s.wall_secs
         );
         println!(
             "      \"virtual\": {{\"elapsed_ps\": {}, \"tps\": {:.3}, \"packets\": {}, \

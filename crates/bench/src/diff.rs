@@ -19,10 +19,28 @@ use std::fmt::Write as _;
 
 use crate::json::JsonValue;
 
-/// Relative tolerance applied to `wall` metrics before even a warning is
-/// raised: host timing on shared CI runners routinely jitters by tens of
-/// percent, so the band is generous. Virtual-time metrics get no band.
+/// Default relative tolerance applied to `wall` metrics before even a
+/// warning is raised: host timing on shared CI runners routinely jitters by
+/// tens of percent, so the band is generous. Virtual-time metrics get no
+/// band. Override per run with `DSNREP_SIMDIFF_WALL_BAND` (see
+/// [`wall_tolerance`]).
 pub const WALL_TOLERANCE: f64 = 0.5;
+
+/// The wall-metric warn band in effect: `DSNREP_SIMDIFF_WALL_BAND` parsed
+/// as a fraction (`0.25` = ±25%), falling back to [`WALL_TOLERANCE`] when
+/// unset, unparsable, negative, or not finite. A dedicated perf box can
+/// tighten the band; a noisy laptop can widen it — without recompiling.
+pub fn wall_tolerance() -> f64 {
+    parse_band(std::env::var("DSNREP_SIMDIFF_WALL_BAND").ok())
+}
+
+/// The pure parsing core of [`wall_tolerance`], split out so it can be
+/// tested without mutating process-global environment state.
+fn parse_band(raw: Option<String>) -> f64 {
+    raw.and_then(|v| v.trim().parse::<f64>().ok())
+        .filter(|b| b.is_finite() && *b >= 0.0)
+        .unwrap_or(WALL_TOLERANCE)
+}
 
 /// How one leaf compared.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -122,8 +140,14 @@ impl DiffReport {
     }
 }
 
-/// Compares two parsed artifact documents.
+/// Compares two parsed artifact documents with the environment-selected
+/// wall band ([`wall_tolerance`]).
 pub fn diff(baseline: &JsonValue, current: &JsonValue) -> DiffOutcome {
+    diff_with_band(baseline, current, wall_tolerance())
+}
+
+/// Compares two parsed artifact documents with an explicit wall band.
+pub fn diff_with_band(baseline: &JsonValue, current: &JsonValue, band: f64) -> DiffOutcome {
     match (
         baseline.get("schema_version").and_then(JsonValue::as_int),
         current.get("schema_version").and_then(JsonValue::as_int),
@@ -153,11 +177,11 @@ pub fn diff(baseline: &JsonValue, current: &JsonValue) -> DiffOutcome {
     let mut report = DiffReport::default();
     for (path, bv) in &base_leaves {
         let cv = cur_leaves.iter().find(|(p, _)| p == path).map(|&(_, v)| v);
-        report.deltas.push(compare_leaf(path, Some(bv), cv));
+        report.deltas.push(compare_leaf(path, Some(bv), cv, band));
     }
     for (path, cv) in &cur_leaves {
         if !base_leaves.iter().any(|(p, _)| p == path) {
-            report.deltas.push(compare_leaf(path, None, Some(cv)));
+            report.deltas.push(compare_leaf(path, None, Some(cv), band));
         }
     }
     DiffOutcome::Compared(report)
@@ -188,7 +212,12 @@ fn as_f64(v: &JsonValue) -> Option<f64> {
     }
 }
 
-fn compare_leaf(path: &str, baseline: Option<&JsonValue>, current: Option<&JsonValue>) -> Delta {
+fn compare_leaf(
+    path: &str,
+    baseline: Option<&JsonValue>,
+    current: Option<&JsonValue>,
+    band: f64,
+) -> Delta {
     let wall = is_wall_path(path);
     let (kind, note) = match (baseline, current) {
         (Some(b), Some(c)) if b == c => (DeltaKind::Unchanged, String::new()),
@@ -199,7 +228,7 @@ fn compare_leaf(path: &str, baseline: Option<&JsonValue>, current: Option<&JsonV
                 } else {
                     (cf - bf).abs() / bf.abs()
                 };
-                if rel <= WALL_TOLERANCE {
+                if rel <= band {
                     (DeltaKind::Unchanged, String::new())
                 } else {
                     (
@@ -207,7 +236,7 @@ fn compare_leaf(path: &str, baseline: Option<&JsonValue>, current: Option<&JsonV
                         format!(
                             "host-time drift {:+.1}% exceeds the ±{:.0}% band",
                             (cf - bf) / bf * 100.0,
-                            WALL_TOLERANCE * 100.0
+                            band * 100.0
                         ),
                     )
                 }
@@ -351,6 +380,38 @@ mod tests {
             DiffOutcome::Refused(why) => assert!(why.contains("baseline")),
             DiffOutcome::Compared(_) => panic!("must refuse unversioned artifacts"),
         }
+    }
+
+    #[test]
+    fn wall_band_is_env_configurable() {
+        // The parsing core, exercised without touching the process
+        // environment (env mutation races with parallel tests).
+        assert_eq!(parse_band(None), WALL_TOLERANCE);
+        assert_eq!(parse_band(Some("0.25".into())), 0.25);
+        assert_eq!(parse_band(Some(" 1.5 ".into())), 1.5);
+        assert_eq!(parse_band(Some("0".into())), 0.0);
+        for bogus in ["", "wide", "-0.1", "inf", "NaN"] {
+            assert_eq!(parse_band(Some(bogus.into())), WALL_TOLERANCE, "{bogus}");
+        }
+    }
+
+    #[test]
+    fn explicit_band_widens_and_tightens_the_warn_threshold() {
+        let b = parse(r#"{"schema_version": 3, "wall_secs": 10.0}"#).unwrap();
+        let c = parse(r#"{"schema_version": 3, "wall_secs": 12.0}"#).unwrap();
+        // +20% drift: clean under the default ±50%, a warning under ±10%.
+        let tight = match diff_with_band(&b, &c, 0.1) {
+            DiffOutcome::Compared(r) => r,
+            DiffOutcome::Refused(why) => panic!("unexpected refusal: {why}"),
+        };
+        assert!(tight.passed(), "wall drift must never gate");
+        assert_eq!(tight.warnings(), 1);
+        assert!(tight.deltas[1].note.contains("±10% band"));
+        let wide = match diff_with_band(&b, &c, 0.5) {
+            DiffOutcome::Compared(r) => r,
+            DiffOutcome::Refused(why) => panic!("unexpected refusal: {why}"),
+        };
+        assert_eq!(wide.warnings(), 0);
     }
 
     #[test]

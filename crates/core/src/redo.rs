@@ -26,7 +26,7 @@ use dsnrep_rio::{Layout, RootSlot};
 use dsnrep_simcore::{Addr, Region, TrafficClass};
 
 use crate::error::TxError;
-use crate::machine::Machine;
+use crate::machine::{Machine, StoreBatch};
 
 const HDR: u64 = 8;
 const PAD: u32 = 0xFFFF_FFFF;
@@ -46,6 +46,11 @@ pub struct RedoWriter {
     cap: u64,
     prod: u64,
     staged: Vec<(u64, Vec<u8>)>,
+    /// Reused store batch: `publish_commit` stages the whole record stream
+    /// (pads, headers, payloads, commit marker — a pure write run with no
+    /// interleaved accounted reads) and flushes it as one
+    /// [`Machine::write_batch`] call before the publication barrier.
+    batch: StoreBatch,
 }
 
 impl RedoWriter {
@@ -65,6 +70,7 @@ impl RedoWriter {
             cap: ring.len(),
             prod: 0,
             staged: Vec::new(),
+            batch: StoreBatch::new(),
         }
     }
 
@@ -170,7 +176,7 @@ impl RedoWriter {
             let size = rec_size(data.len() as u64);
             let contig = self.cap - (self.prod & (self.cap - 1));
             if size > contig {
-                self.write_pad(m, contig);
+                self.stage_pad(contig);
             }
             let at = self.ring.start() + (self.prod & (self.cap - 1));
             let mut hdr = [0u8; 8];
@@ -180,19 +186,20 @@ impl RedoWriter {
                     .to_le_bytes(),
             );
             hdr[4..].copy_from_slice(&u32::try_from(*off).expect("db < 4 GB").to_le_bytes());
-            m.write(at, &hdr, TrafficClass::Meta);
-            m.write(at + HDR, data, TrafficClass::Modified);
+            self.batch.push(at, &hdr, TrafficClass::Meta);
+            self.batch.push(at + HDR, data, TrafficClass::Modified);
             self.prod += size;
         }
         let contig = self.cap - (self.prod & (self.cap - 1));
         if HDR > contig {
-            self.write_pad(m, contig);
+            self.stage_pad(contig);
         }
         let at = self.ring.start() + (self.prod & (self.cap - 1));
         let mut marker = [0u8; 8];
         marker[4..].copy_from_slice(&(seq as u32).to_le_bytes());
-        m.write(at, &marker, TrafficClass::Meta);
+        self.batch.push(at, &marker, TrafficClass::Meta);
         self.prod += HDR;
+        m.write_batch(&mut self.batch);
         // Publish: every record precedes the cursor on the wire.
         m.barrier();
         m.write_u64(
@@ -203,11 +210,11 @@ impl RedoWriter {
         Ok(())
     }
 
-    fn write_pad<T: Tracer>(&mut self, m: &mut Machine<T>, contig: u64) {
+    fn stage_pad(&mut self, contig: u64) {
         let at = self.ring.start() + (self.prod & (self.cap - 1));
         let mut hdr = [0u8; 8];
         hdr[..4].copy_from_slice(&PAD.to_le_bytes());
-        m.write(at, &hdr, TrafficClass::Meta);
+        self.batch.push(at, &hdr, TrafficClass::Meta);
         self.prod += contig;
     }
 }

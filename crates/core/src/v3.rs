@@ -34,7 +34,7 @@ use dsnrep_simcore::{Addr, Region, TrafficClass, VirtualDuration};
 use crate::config::EngineConfig;
 use crate::engine::{Engine, RecoveryReport, VersionTag};
 use crate::error::TxError;
-use crate::machine::Machine;
+use crate::machine::{Machine, StoreBatch};
 use crate::ranges::TxRanges;
 
 /// Record header: {base_off: u32, len: u16, seq_low: u8, index: u8}
@@ -90,6 +90,13 @@ pub struct ImprovedLogEngine {
     ranges: TxRanges,
     /// Volatile offsets of the current transaction's records (abort path).
     rec_offsets: Vec<u64>,
+    /// Reused staging buffer for record data (`set_range` copies the old
+    /// bytes through it on every declared range — allocating here would put
+    /// a malloc/free pair on the per-transaction hot path).
+    scratch: Vec<u8>,
+    /// Reused store batch: each `set_range` chunk stages its data + header
+    /// writes and flushes them as one [`Machine::write_batch`] call.
+    batch: StoreBatch,
 }
 
 impl ImprovedLogEngine {
@@ -137,7 +144,18 @@ impl ImprovedLogEngine {
             tail: 0,
             ranges: TxRanges::default(),
             rec_offsets: Vec::new(),
+            scratch: Vec::new(),
+            batch: StoreBatch::new(),
         }
+    }
+
+    /// Reads `len` bytes at `addr` (accounted) into the reused scratch
+    /// buffer, growing it on first use.
+    fn read_scratch<T: Tracer>(scratch: &mut Vec<u8>, m: &mut Machine<T>, addr: Addr, len: usize) {
+        if scratch.len() < len {
+            scratch.resize(len, 0);
+        }
+        m.read(addr, &mut scratch[..len]);
     }
 
     /// The database region transactions operate on.
@@ -247,13 +265,22 @@ impl<T: Tracer> Engine<T> for ImprovedLogEngine {
             // In-line data first: the header is the publish point, so a
             // crash between the two leaves an unpublished (invisible)
             // record rather than a published record with stale data.
-            let data = m.read_vec(chunk_base, chunk as usize);
+            Self::read_scratch(&mut self.scratch, m, chunk_base, chunk as usize);
             m.charge(VirtualDuration::from_picos(
                 m.costs().copy_per_byte.as_picos() * chunk,
             ));
-            m.write(rec + HDR, &data, TrafficClass::Undo);
+            // Data + header ship as one batch, flushed before the next
+            // chunk's read so the cache model sees the same access order as
+            // per-op stores would produce.
+            self.batch.push(
+                rec + HDR,
+                &self.scratch[..chunk as usize],
+                TrafficClass::Undo,
+            );
             let word = self.header_word(chunk_base, chunk, seq, self.rec_offsets.len());
-            m.write(rec, &word.to_le_bytes(), TrafficClass::Meta);
+            self.batch
+                .push(rec, &word.to_le_bytes(), TrafficClass::Meta);
+            m.write_batch(&mut self.batch);
             self.rec_offsets.push(self.tail);
             self.tail += rec_size(chunk);
             chunk_base = chunk_base + chunk;
@@ -314,11 +341,20 @@ impl<T: Tracer> Engine<T> for ImprovedLogEngine {
                 .collect()
         };
         for &(off, base_off, len) in recs.iter().rev() {
-            let data = m.read_vec(self.log.start() + off + HDR, len as usize);
+            Self::read_scratch(
+                &mut self.scratch,
+                m,
+                self.log.start() + off + HDR,
+                len as usize,
+            );
             m.charge(VirtualDuration::from_picos(
                 m.costs().copy_per_byte.as_picos() * len,
             ));
-            m.write(self.db.start() + base_off, &data, TrafficClass::Modified);
+            m.write(
+                self.db.start() + base_off,
+                &self.scratch[..len as usize],
+                TrafficClass::Modified,
+            );
         }
         // Invalidate the aborted records so the sequence (unchanged by an
         // abort) can never rechain them during a later recovery scan.

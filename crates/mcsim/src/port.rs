@@ -233,18 +233,38 @@ impl<T: Tracer> TxPort<T> {
         }
     }
 
-    fn apply(peers: &[Rc<RefCell<Arena>>], d: &Delivery) {
-        let buf = FlushedBuffer {
-            base: d.base,
-            mask: d.mask,
-            data: d.data,
-            class_bytes: [0; 3], // irrelevant for apply
-        };
-        for peer in peers {
-            let mut arena = peer.borrow_mut();
-            for (addr, run) in buf.dirty_runs() {
-                arena.write(addr, run);
+    /// Applies one delivered packet to one peer arena: one `Arena::write`
+    /// per contiguous dirty run, in ascending-address order — exactly the
+    /// runs [`FlushedBuffer::dirty_runs`] yields (the equivalence proptest
+    /// below holds the two together), so the arena's write counter (a
+    /// fault-injection halt-point enumeration) is unchanged by the fast
+    /// paths here.
+    fn apply_one(arena: &mut Arena, d: &Delivery) {
+        if d.mask == u32::MAX {
+            // Full packet — the overwhelmingly common case for log-heavy
+            // engines: a single 32-byte run.
+            arena.write(d.base, &d.data);
+            return;
+        }
+        let mut pos = 0u32;
+        while pos < 32 {
+            let shifted = d.mask >> pos;
+            if shifted == 0 {
+                break;
             }
+            let start = pos + shifted.trailing_zeros();
+            let len = (d.mask >> start).trailing_ones().min(32 - start);
+            arena.write(
+                d.base + u64::from(start),
+                &d.data[start as usize..(start + len) as usize],
+            );
+            pos = start + len;
+        }
+    }
+
+    fn apply(peers: &[Rc<RefCell<Arena>>], d: &Delivery) {
+        for peer in peers {
+            Self::apply_one(&mut peer.borrow_mut(), d);
         }
     }
 
@@ -293,7 +313,7 @@ impl<T: Tracer> TxPort<T> {
             // A word never spans a 32-byte block (8-byte words, 32-byte
             // blocks), so this fits.
             let mut data = [0u8; BLOCK as usize];
-            data[in_block..in_block + n].copy_from_slice(&bytes[off..off + n]);
+            dsnrep_simcore::copy_small(&mut data[in_block..in_block + n], &bytes[off..off + n]);
             let mask = span_mask(in_block, n);
             let mut class_bytes = [0u64; 3];
             class_bytes[class.index()] = n as u64;
@@ -313,6 +333,24 @@ impl<T: Tracer> TxPort<T> {
 
     /// Applies every packet whose delivery instant is at or before `t`.
     pub fn deliver_up_to(&mut self, t: VirtualInstant) {
+        if self.tx.inflight.front().is_none_or(|d| d.at > t) {
+            return;
+        }
+        // Something is due. Borrow the peer arena once for the whole drain
+        // instead of once per packet: a peer is never the sending node's
+        // own arena, so the borrow cannot alias anything the drain touches.
+        if let [peer] = self.peers.as_slice() {
+            let mut arena = peer.borrow_mut();
+            while let Some(front) = self.tx.inflight.front() {
+                if front.at <= t {
+                    let d = self.tx.inflight.pop_front().expect("front() checked");
+                    Self::apply_one(&mut arena, &d);
+                } else {
+                    break;
+                }
+            }
+            return;
+        }
         while let Some(front) = self.tx.inflight.front() {
             if front.at <= t {
                 let d = self.tx.inflight.pop_front().expect("front() checked");
@@ -377,10 +415,22 @@ impl<T: Tracer> TxPort<T> {
     pub fn link(&self) -> &Rc<RefCell<Link>> {
         &self.tx.link
     }
-}
 
-impl<T: Tracer> StoreSink for TxPort<T> {
-    fn store(&mut self, clock: &mut Clock, addr: Addr, bytes: &[u8], class: TrafficClass) {
+    /// [`StoreSink::store`] minus the trailing delivery drain: issue-time
+    /// charge, buffer merge, and any packet emissions happen exactly as in
+    /// `store`, but packets whose latency has already elapsed are *not*
+    /// applied to the peers yet. A batched caller issues a run of these and
+    /// drains once with [`TxPort::deliver_up_to`] at the end — legal
+    /// because applying a delivered packet only mutates peer arenas (never
+    /// a clock), and every observation point (barrier, 2-safe wait, crash
+    /// cut, quiesce) drains deliveries due at its own instant first.
+    pub fn store_no_deliver(
+        &mut self,
+        clock: &mut Clock,
+        addr: Addr,
+        bytes: &[u8],
+        class: TrafficClass,
+    ) {
         if bytes.is_empty() {
             return;
         }
@@ -391,6 +441,12 @@ impl<T: Tracer> StoreSink for TxPort<T> {
         let TxPort { bufs, tx, .. } = self;
         tx.stall_cause = StallCause::PostedWindow;
         bufs.store(addr, bytes, class, &mut |flushed| tx.emit(clock, flushed));
+    }
+}
+
+impl<T: Tracer> StoreSink for TxPort<T> {
+    fn store(&mut self, clock: &mut Clock, addr: Addr, bytes: &[u8], class: TrafficClass) {
+        self.store_no_deliver(clock, addr, bytes, class);
         self.deliver_up_to(clock.now());
     }
 
@@ -609,5 +665,54 @@ mod tests {
         port.store(&mut clock, Addr::new(0), &[2; 32], TrafficClass::Modified);
         port.quiesce(&mut clock);
         assert_eq!(peer.borrow().read_vec(Addr::new(0), 32), vec![2; 32]);
+    }
+
+    mod apply_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// `apply_one` (full-mask fast path + bit-scan runs) mutates a
+            /// peer arena exactly like the `dirty_runs`-driven loop it
+            /// replaced — including the arena write counter, which fault
+            /// campaigns enumerate as halt points.
+            #[test]
+            fn apply_one_matches_dirty_runs_reference(
+                mask in prop_oneof![4 => Just(u32::MAX), 8 => any::<u32>()],
+                base_block in 0u64..4,
+                seed in any::<u8>(),
+            ) {
+                let clock = Clock::new();
+                let mut data = [0u8; BLOCK as usize];
+                for (i, item) in data.iter_mut().enumerate() {
+                    *item = (i as u8).wrapping_add(seed);
+                }
+                let d = Delivery {
+                    at: clock.now(),
+                    base: Addr::new(base_block * BLOCK),
+                    mask,
+                    data,
+                };
+
+                let mut fast = Arena::new(256);
+                TxPort::<NullTracer>::apply_one(&mut fast, &d);
+
+                let mut oracle = Arena::new(256);
+                let buf = FlushedBuffer {
+                    base: d.base,
+                    mask: d.mask,
+                    data: d.data,
+                    class_bytes: [0; 3],
+                };
+                for (addr, run) in buf.dirty_runs() {
+                    oracle.write(addr, run);
+                }
+
+                prop_assert_eq!(fast.read_vec(Addr::new(0), 256), oracle.read_vec(Addr::new(0), 256));
+                prop_assert_eq!(fast.writes(), oracle.writes());
+            }
+        }
     }
 }

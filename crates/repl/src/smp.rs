@@ -11,16 +11,17 @@
 //! granularity: at each step the stream whose clock is furthest behind runs
 //! one transaction against the shared link. The arbitration error is
 //! bounded by one transaction (a few microseconds), negligible at the
-//! multi-second horizons of the experiment.
+//! multi-second horizons of the experiment. The interleave is driven by
+//! [`dsnrep_simcore::Scheduler`] — per-stream event queues dispatched in
+//! `(time, node)` order — so a cell's execution order is an explicit,
+//! reproducible schedule rather than an artifact of the driver loop.
 
 use std::cell::RefCell;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::rc::Rc;
 
 use dsnrep_core::{EngineConfig, VersionTag};
 use dsnrep_mcsim::{Link, Traffic};
-use dsnrep_simcore::{CostModel, VirtualDuration, VirtualInstant};
+use dsnrep_simcore::{CostModel, NodeId, Scheduler, VirtualDuration, VirtualInstant};
 use dsnrep_workloads::{Workload, WorkloadKind};
 
 use crate::active::ActiveCluster;
@@ -185,26 +186,30 @@ impl SmpExperiment {
     /// minimum-virtual-time order.
     pub fn run(&mut self, txns_per_stream: u64) -> SmpReport {
         let start: Vec<VirtualInstant> = self.streams.iter().map(|s| s.cluster.now()).collect();
-        // Min-heap on (virtual time, stream index): O(log n) per
-        // transaction instead of an O(n) scan. A stream's clock only moves
-        // when it runs, so re-pushing after each transaction keeps exactly
-        // one live entry per unfinished stream; the index tie-break
-        // reproduces the scan's first-minimum pick order.
-        let mut ready: BinaryHeap<Reverse<(VirtualInstant, usize)>> = if txns_per_stream > 0 {
-            self.streams
-                .iter()
-                .enumerate()
-                .map(|(i, s)| Reverse((s.cluster.now(), i)))
-                .collect()
-        } else {
-            BinaryHeap::new()
-        };
-        while let Some(Reverse((_, i))) = ready.pop() {
-            let s = &mut self.streams[i];
+        // One scheduler node per stream, one pending event per unfinished
+        // stream ("run the next transaction", rescheduled at the stream's
+        // new clock after each dispatch). The default identity tie-break
+        // dispatches equal times in stream order — the same total order the
+        // old inline BinaryHeap<(time, index)> produced, so virtual metrics
+        // are unchanged by the scheduler rewire.
+        //
+        // A dispatched stream may deliver its own SAN packets up to its own
+        // clock, which can run *ahead* of `Scheduler::horizon()`; that is
+        // safe here because each stream's packets target only its private
+        // backup arenas, which no other node ever reads. Endpoints shared
+        // across nodes must stick to the horizon barrier.
+        let mut sched = Scheduler::new(self.streams.len());
+        if txns_per_stream > 0 {
+            for (i, s) in self.streams.iter().enumerate() {
+                sched.schedule(NodeId::new(i as u32), s.cluster.now(), 0);
+            }
+        }
+        while let Some(ev) = sched.dispatch() {
+            let s = &mut self.streams[ev.node.index()];
             s.cluster.run_txn(s.workload.as_mut());
             s.done += 1;
             if s.done < txns_per_stream {
-                ready.push(Reverse((s.cluster.now(), i)));
+                sched.schedule(ev.node, s.cluster.now(), 0);
             }
         }
         let makespan = self

@@ -11,7 +11,7 @@
 
 use core::fmt;
 
-use dsnrep_simcore::{Addr, Region};
+use dsnrep_simcore::{copy_small, Addr, Region};
 
 /// Size of a lazily allocated arena page.
 pub const PAGE_SIZE: usize = 64 * 1024;
@@ -172,9 +172,8 @@ impl Arena {
         let off = addr.as_usize();
         let page_off = off % PAGE_SIZE;
         // Fast path: the write stays inside one page (virtually all
-        // simulated stores are word-sized). The `8 => ` arm pins the copy
-        // length at compile time so an 8-byte store is a single move, not a
-        // memcpy call.
+        // simulated stores are word-sized); `copy_small` keeps these
+        // copies inline instead of calling libc.
         if bytes.len() <= PAGE_SIZE - page_off {
             let slot = &mut self.pages[off / PAGE_SIZE];
             let page = match slot {
@@ -184,10 +183,7 @@ impl Arena {
                     slot.insert(vec![0u8; PAGE_SIZE].into_boxed_slice())
                 }
             };
-            match bytes.len() {
-                8 => page[page_off..page_off + 8].copy_from_slice(&bytes[..8]),
-                n => page[page_off..page_off + n].copy_from_slice(bytes),
-            }
+            copy_small(&mut page[page_off..page_off + bytes.len()], bytes);
             return;
         }
         let mut off = off;
@@ -217,14 +213,10 @@ impl Arena {
         self.check(addr, buf.len());
         let off = addr.as_usize();
         let page_off = off % PAGE_SIZE;
-        // Fast path mirroring `write`: single-page reads, with word-sized
-        // loads pinned to a compile-time length.
+        // Fast path mirroring `write`: single-page reads stay inline.
         if buf.len() <= PAGE_SIZE - page_off {
             match &self.pages[off / PAGE_SIZE] {
-                Some(page) => match buf.len() {
-                    8 => buf[..8].copy_from_slice(&page[page_off..page_off + 8]),
-                    n => buf.copy_from_slice(&page[page_off..page_off + n]),
-                },
+                Some(page) => copy_small(buf, &page[page_off..page_off + buf.len()]),
                 None => buf.fill(0),
             }
             return;

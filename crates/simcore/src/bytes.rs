@@ -1,0 +1,74 @@
+//! Small-copy primitive for the simulated store pipeline.
+//!
+//! `copy_from_slice` with a runtime length compiles to a call into libc's
+//! `memcpy`. The store pipeline issues tens of millions of 4–32-byte copies
+//! per run (arena stores, write-buffer merges, delivery applies), where the
+//! call overhead dwarfs the copy itself — profiling a 64-node cell shows the
+//! majority of host time inside libc on exactly these calls. Dispatching on
+//! the handful of sizes the pipeline actually produces keeps the copies
+//! inline.
+
+/// Copies `src` into `dst` (equal lengths) without a libc `memcpy` call for
+/// the small sizes the store pipeline produces (word- and block-sized
+/// spans). Falls back to `copy_from_slice` beyond 64 bytes, where a real
+/// `memcpy` wins.
+///
+/// # Examples
+///
+/// ```
+/// let mut dst = [0u8; 5];
+/// dsnrep_simcore::copy_small(&mut dst, b"abcde");
+/// assert_eq!(&dst, b"abcde");
+/// ```
+///
+/// # Panics
+///
+/// Panics if `dst.len() != src.len()`.
+#[inline]
+pub fn copy_small(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "copy_small length mismatch");
+    match src.len() {
+        0 => {}
+        1 => dst[0] = src[0],
+        2 => dst[..2].copy_from_slice(&src[..2]),
+        4 => dst[..4].copy_from_slice(&src[..4]),
+        8 => dst[..8].copy_from_slice(&src[..8]),
+        16 => dst[..16].copy_from_slice(&src[..16]),
+        32 => dst[..32].copy_from_slice(&src[..32]),
+        n if n <= 64 => {
+            // 8-byte compile-time-sized chunks plus a byte tail.
+            let mut i = 0;
+            while i + 8 <= n {
+                dst[i..i + 8].copy_from_slice(&src[i..i + 8]);
+                i += 8;
+            }
+            while i < n {
+                dst[i] = src[i];
+                i += 1;
+            }
+        }
+        _ => dst.copy_from_slice(src),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copies_every_length_up_to_96() {
+        for len in 0..=96usize {
+            let src: Vec<u8> = (0..len).map(|i| i as u8 ^ 0x5A).collect();
+            let mut dst = vec![0u8; len];
+            copy_small(&mut dst, &src);
+            assert_eq!(dst, src, "length {len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_length_mismatch() {
+        let mut dst = [0u8; 3];
+        copy_small(&mut dst, &[1, 2]);
+    }
+}

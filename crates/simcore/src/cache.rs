@@ -52,14 +52,19 @@ impl CacheOutcome {
 /// ```
 #[derive(Clone, Debug)]
 pub struct DirectMappedCache {
-    /// Tag per line; `u64::MAX` marks an invalid line.
-    tags: Vec<u64>,
+    /// Tag per line: the full line number; `u32::MAX` marks an invalid
+    /// line. 32-bit tags halve the host footprint of the tag arrays —
+    /// which a many-node cell multiplies by machine count — and suffice
+    /// for any line number below `u32::MAX`, i.e. 256 GB of simulated
+    /// address space ([`touch_range`](DirectMappedCache::touch_range)
+    /// asserts the bound).
+    tags: Vec<u32>,
     line_shift: u32,
     index_mask: u64,
     total: CacheOutcome,
 }
 
-const INVALID: u64 = u64::MAX;
+const INVALID: u32 = u32::MAX;
 
 impl DirectMappedCache {
     /// Creates a cache of `capacity` bytes with `line_size`-byte lines.
@@ -125,14 +130,18 @@ impl DirectMappedCache {
         }
         let first = addr.as_u64() >> self.line_shift;
         let last = (addr.as_u64() + len - 1) >> self.line_shift;
+        assert!(
+            last < u64::from(u32::MAX),
+            "simulated address space exceeds the 32-bit line-tag range"
+        );
         // Word-sized accesses — the bulk of all simulated stores — touch a
         // single line; skip the chunk-walk machinery for them.
         if first == last {
             let tag = &mut self.tags[(first & self.index_mask) as usize];
-            let out = if *tag == first {
+            let out = if *tag == first as u32 {
                 CacheOutcome { hits: 1, misses: 0 }
             } else {
-                *tag = first;
+                *tag = first as u32;
                 CacheOutcome { hits: 0, misses: 1 }
             };
             self.total = self.total.merge(out);
@@ -145,7 +154,7 @@ impl DirectMappedCache {
             let idx = (line & self.index_mask) as usize;
             // Lines map to consecutive indices until the index wraps.
             let chunk = (lines - idx as u64).min(last - line + 1) as usize;
-            for (expect, tag) in (line..).zip(&mut self.tags[idx..idx + chunk]) {
+            for (expect, tag) in (line as u32..).zip(&mut self.tags[idx..idx + chunk]) {
                 if *tag == expect {
                     out.hits += 1;
                 } else {
@@ -267,11 +276,11 @@ mod tests {
         let mut out = CacheOutcome::default();
         for line in first..=last {
             let idx = (line & cache.index_mask) as usize;
-            if cache.tags[idx] == line {
+            if cache.tags[idx] == line as u32 {
                 out.hits += 1;
             } else {
                 out.misses += 1;
-                cache.tags[idx] = line;
+                cache.tags[idx] = line as u32;
             }
         }
         cache.total = cache.total.merge(out);

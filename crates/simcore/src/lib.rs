@@ -10,6 +10,9 @@
 //!   locality results.
 //! * [`CostModel`] — every calibrated constant, with its derivation.
 //! * [`StoreSink`] — the write-doubling hook that `dsnrep-mcsim` implements.
+//! * [`Scheduler`] — per-node event queues with a deterministic, seedable
+//!   dispatch order and the virtual-time barrier ([`Scheduler::horizon`])
+//!   that cell drivers interleave on.
 //! * [`SplitMix64`] — a small deterministic RNG.
 //!
 //! # Examples
@@ -33,18 +36,22 @@
 #![warn(missing_debug_implementations)]
 
 mod addr;
+mod bytes;
 mod cache;
 mod clock;
 mod costs;
 mod rng;
+mod sched;
 mod sink;
 mod time;
 
 pub use addr::{Addr, Region, TrafficClass};
+pub use bytes::copy_small;
 pub use cache::{CacheOutcome, DirectMappedCache};
 pub use clock::{BusyCause, Clock, StallCause};
 pub use costs::CostModel;
 pub use rng::SplitMix64;
+pub use sched::{Event, NodeId, Scheduler};
 pub use sink::{NullSink, StoreSink};
 pub use time::{VirtualDuration, VirtualInstant};
 

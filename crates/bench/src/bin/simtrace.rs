@@ -1,9 +1,10 @@
 //! The virtual-time flight recorder, exported.
 //!
-//! Runs one traced cluster scenario and writes three artifacts:
+//! Runs one traced cluster scenario and writes its artifacts:
 //!
 //! * `trace.json` — Chrome `trace_event` JSON; open it in Perfetto
-//!   (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!   (<https://ui.perfetto.dev>) or `chrome://tracing`. Includes one
+//!   counter track per nonzero windowed metric.
 //! * `events.jsonl` — the same spans and point events, one JSON object per
 //!   line, for ad-hoc scripting.
 //! * `summary.json` — commit-latency histogram, stall attribution and the
@@ -12,6 +13,17 @@
 //!   (CPU issue / cache / SAN by class / stalls by cause), whose leaves
 //!   provably sum to each node's total virtual time; rendered as an
 //!   indented text tree on stderr.
+//! * `timeseries.json` — the windowed metrics time-series (goodput,
+//!   per-class SAN bytes, stall picoseconds, gauges, per-window latency
+//!   percentiles), conservation-checked against the summary and the
+//!   attribution tree.
+//! * `availability.json` — the goodput-over-time availability report:
+//!   SLO-violation windows and, for `--crash` runs, the virtual time from
+//!   `recovery_start` to the first post-recovery commit.
+//!
+//! With `--crash`, `--post-txns N` (default `txns / 10`) transactions run
+//! on the promoted backup after recovery, so the availability report has
+//! a recovery leg to measure.
 //!
 //! If the post-run audit finds a violation (or takeover recovery fails),
 //! the flight-recorder ring is still dumped — that dump *is* the crash
@@ -25,7 +37,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use dsnrep_bench::trace::{traced_run, TracedScheme};
+use dsnrep_bench::trace::{traced_run_with, TracedScheme};
 use dsnrep_core::VersionTag;
 use dsnrep_simcore::MIB;
 use dsnrep_workloads::WorkloadKind;
@@ -36,6 +48,7 @@ struct Options {
     txns: u64,
     db_mib: u64,
     crash: bool,
+    post_txns: Option<u64>,
     out: Option<PathBuf>,
 }
 
@@ -43,7 +56,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: simtrace [--scheme passive|active] [--version v0|v1|v2|v3]\n\
          \x20               [--workload debit-credit|order-entry] [--txns N]\n\
-         \x20               [--db-mib N] [--crash] [--out DIR]"
+         \x20               [--db-mib N] [--crash] [--post-txns N] [--out DIR]"
     );
     std::process::exit(2);
 }
@@ -55,6 +68,7 @@ fn parse_args() -> Options {
         txns: 2_000,
         db_mib: 10,
         crash: false,
+        post_txns: None,
         out: None,
     };
     let mut version = VersionTag::ImprovedLog;
@@ -87,6 +101,7 @@ fn parse_args() -> Options {
             "--txns" => opts.txns = value().parse().unwrap_or_else(|_| usage()),
             "--db-mib" => opts.db_mib = value().parse().unwrap_or_else(|_| usage()),
             "--crash" => opts.crash = true,
+            "--post-txns" => opts.post_txns = Some(value().parse().unwrap_or_else(|_| usage())),
             "--out" => opts.out = Some(PathBuf::from(value())),
             _ => usage(),
         }
@@ -101,13 +116,33 @@ fn parse_args() -> Options {
 
 fn main() -> ExitCode {
     let opts = parse_args();
-    let run = traced_run(
+    let post_txns = match (opts.crash, opts.post_txns) {
+        (false, _) => 0,
+        (true, Some(n)) => n,
+        (true, None) => opts.txns / 10,
+    };
+    let run = traced_run_with(
         opts.scheme,
         opts.kind,
         opts.txns,
         opts.db_mib * MIB,
         opts.crash,
+        post_txns,
     );
+
+    // A truncated ring silently under-reports everything downstream of
+    // it; surface the loss loudly and name the knob that raises the cap.
+    let dropped = run.recorder.dropped_spans() + run.recorder.dropped_instants();
+    if dropped > 0 {
+        eprintln!(
+            "warning: the flight-recorder ring dropped {} span(s) and {} event(s); \
+             the trace and its phase profile are truncated — raise DSNREP_TRACE_CAP \
+             (currently {} records per ring) to keep the whole run",
+            run.recorder.dropped_spans(),
+            run.recorder.dropped_instants(),
+            run.recorder.capacity()
+        );
+    }
 
     if let Some(dir) = &opts.out {
         std::fs::create_dir_all(dir).expect("create output directory");
@@ -119,14 +154,21 @@ fn main() -> ExitCode {
             .expect("write summary.json");
         std::fs::write(dir.join("attribution.json"), run.attribution.to_json())
             .expect("write attribution.json");
+        std::fs::write(dir.join("timeseries.json"), run.timeseries.to_json())
+            .expect("write timeseries.json");
+        std::fs::write(dir.join("availability.json"), run.availability.to_json())
+            .expect("write availability.json");
         eprintln!(
             "wrote {}/trace.json (load in https://ui.perfetto.dev), events.jsonl, \
-             summary.json, attribution.json",
+             summary.json, attribution.json, timeseries.json, availability.json",
             dir.display()
         );
     }
     println!("{}", run.summary.to_json());
     eprint!("{}", run.attribution.render_text());
+    if opts.crash {
+        eprint!("{}", run.availability.to_json());
+    }
 
     match &run.violation {
         None => ExitCode::SUCCESS,

@@ -9,11 +9,12 @@
 
 use dsnrep_core::{audit, AuditViolation, EngineConfig, MachineStats, VersionTag};
 use dsnrep_obs::{
-    AttributionTree, ClockAttribution, FlightRecorder, TraceEventKind, TraceSummary, Tracer,
-    TRACK_BACKUP, TRACK_PRIMARY,
+    AttributionTree, ClockAttribution, FlightRecorder, Metric, Phase, TimeSeries, TraceEventKind,
+    TraceSummary, Tracer, TRACK_BACKUP, TRACK_PRIMARY,
 };
 use dsnrep_repl::{ActiveCluster, PassiveCluster};
-use dsnrep_workloads::WorkloadKind;
+use dsnrep_simcore::{NodeId, Periodic, Scheduler, StallCause, VirtualDuration, VirtualInstant};
+use dsnrep_workloads::{ThroughputReport, WorkloadKind};
 
 use crate::experiments::{costs, SEED};
 
@@ -63,6 +64,11 @@ pub struct TracedRun {
     pub summary: TraceSummary,
     /// Per-node virtual-time attribution tree, conservation-checked.
     pub attribution: AttributionTree,
+    /// Windowed metrics time-series, conservation-checked against both the
+    /// summary aggregates and the attribution tree's stall leaves.
+    pub timeseries: TimeSeries,
+    /// Goodput-over-time availability view derived from the time-series.
+    pub availability: AvailabilityReport,
     /// Primary throughput over the failure-free portion, TPS.
     pub tps: f64,
     /// `Some(violation)` if the post-run arena audit failed.
@@ -116,17 +122,235 @@ pub fn build_attribution(
     tree
 }
 
-/// Runs `txns` transactions of `kind` under `scheme` with a flight
-/// recorder attached to every machine and port. With `crash`, the primary
-/// is crashed afterwards and the backup's takeover is traced too; the
-/// audit then runs against the failed-over arena (otherwise against the
-/// quiesced primary's).
+/// Drives `txns` transactions through an explicit two-node event
+/// [`Scheduler`]: node 0 runs one transaction per event and re-arms itself
+/// at the machine's new clock; node 1 is a [`Periodic`] metrics sampler on
+/// the recorder's window cadence, whose events call
+/// [`Tracer::sample_to`] so time-series windows materialize as virtual
+/// time passes instead of all at once at snapshot.
+///
+/// The sampler is **materialization-only** by the hub's contract, so a run
+/// driven this way is bit-identical — simulated outcomes and exported
+/// artifacts both — to one that never samples (the recorder-side fallback
+/// for drivers without a scheduler). A determinism test in
+/// `crates/bench/tests` holds the two together.
+fn drive_sampled(
+    recorder: &FlightRecorder,
+    txns: u64,
+    start: VirtualInstant,
+    mut run_one: impl FnMut() -> VirtualInstant,
+) {
+    const TXN: u64 = 0;
+    const SAMPLE: u64 = 1;
+    if txns == 0 {
+        return;
+    }
+    let driver = NodeId::new(0);
+    let sampler = NodeId::new(1);
+    let mut sched = Scheduler::new(2);
+    let mut cadence = Periodic::new(VirtualDuration::from_picos(recorder.window_picos()));
+    cadence.catch_up_to(start);
+    let mut remaining = txns;
+    sched.schedule(driver, start, TXN);
+    sched.schedule(sampler, cadence.next_at(), SAMPLE);
+    while let Some(ev) = sched.dispatch() {
+        match ev.token {
+            TXN => {
+                remaining -= 1;
+                let now = run_one();
+                if remaining > 0 {
+                    sched.schedule(driver, now, TXN);
+                }
+            }
+            SAMPLE => {
+                let due = cadence.fire();
+                recorder.sample_to(due);
+                if remaining > 0 {
+                    sched.schedule(sampler, cadence.next_at(), SAMPLE);
+                }
+            }
+            _ => unreachable!("drive_sampled only schedules TXN and SAMPLE tokens"),
+        }
+    }
+}
+
+/// Checks the time-series against the attribution tree: for every node,
+/// the per-cause windowed stall counters must re-aggregate to exactly the
+/// stall leaves of that node's attributed clock. Together with
+/// [`TimeSeries::verify_against_summary`] this pins every exported series
+/// to an independently-computed whole-run total.
+fn verify_against_attribution(ts: &TimeSeries, tree: &AttributionTree) -> Result<(), String> {
+    for node in &tree.nodes {
+        let track = ts.tracks.iter().find(|t| t.track == node.track);
+        for cause in StallCause::ALL {
+            let counted = track.map_or(0, |t| t.counter_total(Metric::stall(cause)));
+            let attributed = node.clock.stall_picos[cause.index()];
+            if counted != attributed {
+                return Err(format!(
+                    "stream '{}' stall cause '{}': windowed counters sum to {counted} ps \
+                     but the attribution leaf holds {attributed} ps",
+                    node.stream,
+                    cause.name(),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Goodput-over-time availability view of one traced run: the per-window
+/// committed-transaction curve (all tracks merged — after a failover the
+/// survivor's commits count), the SLO-violation windows under a threshold
+/// derived from the failure-free portion, and — for crash runs — the
+/// virtual time from the recovery-start event to the first transaction
+/// committed by the promoted backup.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AvailabilityReport {
+    /// Window width shared with the time-series, virtual picoseconds.
+    pub window_picos: u64,
+    /// `(window index, committed transactions)`, all tracks merged, over
+    /// the contiguous span the run touched.
+    pub goodput: Vec<(u64, u64)>,
+    /// Half the median nonzero pre-crash window goodput, floored at one
+    /// txn: a window below this under-delivered.
+    pub slo_threshold_txns: u64,
+    /// Window indices whose goodput fell below the threshold.
+    pub violation_windows: Vec<u64>,
+    /// Instant of the primary-crash event, if the run crashed.
+    pub crash_picos: Option<u64>,
+    /// Instant recovery began on the promoted backup.
+    pub recovery_start_picos: Option<u64>,
+    /// End of the first transaction committed at or after recovery start.
+    pub first_commit_after_recovery_picos: Option<u64>,
+    /// `first_commit_after_recovery_picos - recovery_start_picos`.
+    pub time_to_first_commit_picos: Option<u64>,
+}
+
+impl AvailabilityReport {
+    /// Builds the report from a finished run's recorder and time-series.
+    pub fn build(recorder: &FlightRecorder, ts: &TimeSeries) -> Self {
+        let goodput = ts.goodput_curve();
+        let crash_picos = recorder
+            .instants_of(TraceEventKind::PrimaryCrash)
+            .first()
+            .map(|i| i.at.as_picos());
+        let recovery_start_picos = recorder
+            .instants_of(TraceEventKind::RecoveryStart)
+            .first()
+            .map(|i| i.at.as_picos());
+        // The failure-free portion: windows strictly before the crash
+        // window (all windows when nothing crashed).
+        let pre_crash_end = crash_picos.map(|c| c / ts.window_picos).unwrap_or(u64::MAX);
+        let mut baseline: Vec<u64> = goodput
+            .iter()
+            .filter(|(w, txns)| *w < pre_crash_end && *txns > 0)
+            .map(|&(_, txns)| txns)
+            .collect();
+        baseline.sort_unstable();
+        let median = baseline.get(baseline.len() / 2).copied().unwrap_or(0);
+        let slo_threshold_txns = (median / 2).max(1);
+        let violation_windows: Vec<u64> = goodput
+            .iter()
+            .filter(|&&(_, txns)| txns < slo_threshold_txns)
+            .map(|&(w, _)| w)
+            .collect();
+        // Strictly after: the crashed primary's final commit can land on
+        // the crash instant itself, which is where recovery starts.
+        let first_commit_after_recovery_picos = recovery_start_picos.and_then(|rs| {
+            recorder
+                .spans()
+                .iter()
+                .filter(|s| s.phase == Phase::Txn && s.end.as_picos() > rs)
+                .map(|s| s.end.as_picos())
+                .min()
+        });
+        let time_to_first_commit_picos =
+            match (recovery_start_picos, first_commit_after_recovery_picos) {
+                (Some(rs), Some(fc)) => Some(fc - rs),
+                _ => None,
+            };
+        AvailabilityReport {
+            window_picos: ts.window_picos,
+            goodput,
+            slo_threshold_txns,
+            violation_windows,
+            crash_picos,
+            recovery_start_picos,
+            first_commit_after_recovery_picos,
+            time_to_first_commit_picos,
+        }
+    }
+
+    /// Renders the report as a schema-versioned JSON object. All values
+    /// are virtual-time quantities, so the output is bit-stable.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        fn opt(v: Option<u64>) -> String {
+            v.map_or_else(|| "null".to_string(), |v| v.to_string())
+        }
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"schema_version\": {},\n  \"window_picos\": {},\n  \
+             \"slo_threshold_txns\": {},\n  \"goodput\": [",
+            dsnrep_obs::TRACE_SCHEMA_VERSION,
+            self.window_picos,
+            self.slo_threshold_txns
+        );
+        for (i, (w, txns)) in self.goodput.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {{\"window\": {w}, \"committed_txns\": {txns}}}");
+        }
+        out.push_str("\n  ],\n  \"violation_windows\": [");
+        for (i, w) in self.violation_windows.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{w}");
+        }
+        let _ = write!(
+            out,
+            "],\n  \"recovery\": {{\n    \"crash_picos\": {},\n    \
+             \"recovery_start_picos\": {},\n    \
+             \"first_commit_after_recovery_picos\": {},\n    \
+             \"time_to_first_commit_picos\": {}\n  }}\n}}\n",
+            opt(self.crash_picos),
+            opt(self.recovery_start_picos),
+            opt(self.first_commit_after_recovery_picos),
+            opt(self.time_to_first_commit_picos)
+        );
+        out
+    }
+}
+
+/// [`traced_run_with`] without post-recovery transactions.
 pub fn traced_run(
     scheme: TracedScheme,
     kind: WorkloadKind,
     txns: u64,
     db_len: u64,
     crash: bool,
+) -> TracedRun {
+    traced_run_with(scheme, kind, txns, db_len, crash, 0)
+}
+
+/// Runs `txns` transactions of `kind` under `scheme` with a flight
+/// recorder attached to every machine and port, the transaction driver
+/// and a periodic metrics sampler interleaved through an explicit event
+/// scheduler. With `crash`, the primary is crashed afterwards, the
+/// backup's takeover is traced, and `post_txns` further transactions run
+/// on the promoted backup (the availability report's recovery leg); the
+/// audit then runs against the failed-over arena (otherwise against the
+/// quiesced primary's, and `post_txns` is ignored).
+pub fn traced_run_with(
+    scheme: TracedScheme,
+    kind: WorkloadKind,
+    txns: u64,
+    db_len: u64,
+    crash: bool,
+    post_txns: u64,
 ) -> TracedRun {
     let recorder = FlightRecorder::from_env();
     recorder.set_track_name(TRACK_PRIMARY, "primary");
@@ -139,10 +363,24 @@ pub fn traced_run(
             let mut cluster =
                 PassiveCluster::new_traced(costs(), version, &config, recorder.clone());
             let mut workload = kind.build_traced(cluster.engine().db_region(), SEED);
-            let report = cluster.run(workload.as_mut(), txns);
+            let run_start = cluster.machine().now();
+            drive_sampled(&recorder, txns, run_start, || {
+                cluster.run_txn(workload.as_mut());
+                cluster.machine().now()
+            });
+            let report = ThroughputReport {
+                txns,
+                elapsed: cluster.machine().now().duration_since(run_start),
+            };
             let primary_stats = cluster.machine().stats();
             if crash {
-                let failover = cluster.crash_primary();
+                let mut failover = cluster.crash_primary();
+                let mut post_workload = kind.build_traced(failover.engine.db_region(), SEED);
+                let post_start = failover.machine.now();
+                drive_sampled(&recorder, post_txns, post_start, || {
+                    failover.run_txn(post_workload.as_mut());
+                    failover.machine.now()
+                });
                 let backup_stats = failover.machine.stats();
                 let result = audit(version, &failover.machine.arena().borrow());
                 (
@@ -162,12 +400,26 @@ pub fn traced_run(
         TracedScheme::Active => {
             let mut cluster = ActiveCluster::new_traced(costs(), &config, recorder.clone());
             let mut workload = kind.build_traced(cluster.db_region(), SEED);
-            let report = cluster.run(workload.as_mut(), txns);
+            let run_start = cluster.machine().now();
+            drive_sampled(&recorder, txns, run_start, || {
+                cluster.run_txn(workload.as_mut());
+                cluster.machine().now()
+            });
+            let report = ThroughputReport {
+                txns,
+                elapsed: cluster.machine().now().duration_since(run_start),
+            };
             if crash {
                 let primary_stats = cluster.machine().stats();
-                let failover = cluster
+                let mut failover = cluster
                     .crash_primary()
                     .expect("backup arena carries the replicated layout");
+                let mut post_workload = kind.build_traced(failover.engine.db_region(), SEED);
+                let post_start = failover.machine.now();
+                drive_sampled(&recorder, post_txns, post_start, || {
+                    failover.run_txn(post_workload.as_mut());
+                    failover.machine.now()
+                });
                 let backup_stats = failover.machine.stats();
                 let result = audit(version, &failover.machine.arena().borrow());
                 (
@@ -221,10 +473,24 @@ pub fn traced_run(
         &primary_stats,
         backup_stats.as_ref(),
     );
+    // Conservation: every exported windowed series must re-aggregate to
+    // the whole-run aggregates two independent paths computed — the
+    // summary's counters/histogram and the attribution tree's stall
+    // leaves. A mismatch means a probe fed one sink and not the other.
+    let timeseries = recorder.timeseries();
+    if let Err(e) = timeseries.verify_against_summary(&summary) {
+        panic!("time-series conservation violated: {e}");
+    }
+    if let Err(e) = verify_against_attribution(&timeseries, &attribution) {
+        panic!("time-series vs attribution conservation violated: {e}");
+    }
+    let availability = AvailabilityReport::build(&recorder, &timeseries);
     TracedRun {
         recorder,
         summary,
         attribution,
+        timeseries,
+        availability,
         tps,
         violation,
         recovery_picos,

@@ -18,7 +18,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use dsnrep_mcsim::TxPort;
-use dsnrep_obs::{NullTracer, Phase, TraceEventKind, Tracer};
+use dsnrep_obs::{Metric, NullTracer, Phase, TraceEventKind, Tracer};
 use dsnrep_rio::{AllocMem, Arena};
 use dsnrep_simcore::{
     Addr, BusyCause, CacheOutcome, Clock, CostModel, DirectMappedCache, Region, StallCause,
@@ -293,7 +293,10 @@ impl<T: Tracer> Machine<T> {
     #[inline]
     pub fn trace_tx_begin(&mut self) {
         if self.tracer.is_enabled() {
-            self.tx_start = Some(self.clock.now());
+            let now = self.clock.now();
+            self.tx_start = Some(now);
+            self.tracer
+                .gauge_set(self.track, Metric::InflightTxns, now, 1);
         }
     }
 
@@ -302,8 +305,10 @@ impl<T: Tracer> Machine<T> {
     #[inline]
     pub fn trace_tx_end(&mut self) {
         if let Some(start) = self.tx_start.take() {
+            let now = self.clock.now();
+            self.tracer.span(self.track, Phase::Txn, start, now);
             self.tracer
-                .span(self.track, Phase::Txn, start, self.clock.now());
+                .gauge_set(self.track, Metric::InflightTxns, now, 0);
         }
     }
 
@@ -357,6 +362,14 @@ impl<T: Tracer> Machine<T> {
             BusyCause::Cache,
             self.costs.cache_hit * out.hits + self.costs.cache_miss * out.misses,
         );
+        if self.tracer.is_enabled() {
+            self.tracer.gauge_set(
+                self.track,
+                Metric::CacheOccupancyLines,
+                self.clock.now(),
+                self.cache.occupied_lines(),
+            );
+        }
     }
 
     #[inline]
@@ -515,6 +528,14 @@ impl<T: Tracer> Machine<T> {
                     BusyCause::Cache,
                     self.costs.cache_hit * out.hits + self.costs.cache_miss * out.misses,
                 );
+                if self.tracer.is_enabled() {
+                    self.tracer.gauge_set(
+                        self.track,
+                        Metric::CacheOccupancyLines,
+                        self.clock.now(),
+                        self.cache.occupied_lines(),
+                    );
+                }
                 arena.write(op.addr, bytes);
                 if self.replicated.iter().any(|r| r.contains(op.addr)) {
                     if let Some(port) = port.as_deref_mut() {
@@ -595,9 +616,38 @@ impl<T: Tracer> Machine<T> {
         if let Some(port) = self.port.as_mut() {
             port.barrier(&mut self.clock);
             let delivered = port.last_delivered();
+            let now = self.clock.now();
+            if delivered > now {
+                self.tracer.counter_add(
+                    self.track,
+                    Metric::stall(StallCause::TwoSafe),
+                    delivered,
+                    delivered.duration_since(now).as_picos(),
+                );
+            }
             self.clock.advance_to_for(StallCause::TwoSafe, delivered);
             port.deliver_up_to(delivered);
         }
+    }
+
+    /// Stalls this node until `t` (no-op if `t` has passed), charging the
+    /// wait to `cause` on the clock **and** publishing the same
+    /// picoseconds to the windowed stall counter, so per-window stall
+    /// deltas re-aggregate to the clock's breakdown exactly. Drivers that
+    /// stall a machine on external resources (redo-ring flow control,
+    /// delivery visibility, failover clamps) must prefer this over raw
+    /// `clock_mut().advance_to_for` when the machine is traced.
+    pub fn stall_until(&mut self, cause: StallCause, t: VirtualInstant) {
+        let now = self.clock.now();
+        if t > now {
+            self.tracer.counter_add(
+                self.track,
+                Metric::stall(cause),
+                t,
+                t.duration_since(now).as_picos(),
+            );
+        }
+        self.clock.advance_to_for(cause, t);
     }
 
     /// Execution counters.

@@ -16,7 +16,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::rc::Rc;
 
-use dsnrep_obs::{NullTracer, Tracer};
+use dsnrep_obs::{Metric, NullTracer, Tracer};
 use dsnrep_rio::Arena;
 use dsnrep_simcore::{
     Addr, BusyCause, Clock, CostModel, StallCause, StoreSink, TrafficClass, VirtualDuration,
@@ -98,6 +98,15 @@ impl<T: Tracer> Emitter<T> {
                 .outstanding
                 .pop_front()
                 .expect("window exceeded with no outstanding packets");
+            let now = clock.now();
+            if done > now {
+                self.tracer.counter_add(
+                    self.track,
+                    Metric::stall(self.stall_cause),
+                    done,
+                    done.duration_since(now).as_picos(),
+                );
+            }
             clock.advance_to_for(self.stall_cause, done);
             self.outstanding_bytes -= bytes;
         }
@@ -328,6 +337,14 @@ impl<T: Tracer> TxPort<T> {
             );
             off += n;
         }
+        if tx.tracer.is_enabled() {
+            tx.tracer.gauge_set(
+                tx.track,
+                Metric::WbufDirtyLines,
+                clock.now(),
+                bufs.dirty_buffers() as u64,
+            );
+        }
         self.deliver_up_to(clock.now());
     }
 
@@ -441,6 +458,14 @@ impl<T: Tracer> TxPort<T> {
         let TxPort { bufs, tx, .. } = self;
         tx.stall_cause = StallCause::PostedWindow;
         bufs.store(addr, bytes, class, &mut |flushed| tx.emit(clock, flushed));
+        if tx.tracer.is_enabled() {
+            tx.tracer.gauge_set(
+                tx.track,
+                Metric::WbufDirtyLines,
+                clock.now(),
+                bufs.dirty_buffers() as u64,
+            );
+        }
     }
 }
 
@@ -454,6 +479,10 @@ impl<T: Tracer> StoreSink for TxPort<T> {
         let TxPort { bufs, tx, .. } = self;
         tx.stall_cause = StallCause::WbufFlush;
         bufs.flush_all(&mut |flushed| tx.emit(clock, flushed));
+        if tx.tracer.is_enabled() {
+            tx.tracer
+                .gauge_set(tx.track, Metric::WbufDirtyLines, clock.now(), 0);
+        }
         self.deliver_up_to(clock.now());
     }
 }

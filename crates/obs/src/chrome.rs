@@ -7,7 +7,12 @@
 //! * one `M` (metadata) event per track naming its "thread",
 //! * one `X` (complete) event per recorded span, `ts`/`dur` in microseconds
 //!   of **virtual** time,
-//! * one `i` (instant) event per point record, global scope.
+//! * one `i` (instant) event per point record, global scope,
+//! * one `C` (counter) event per metrics window per nonzero series, so the
+//!   windowed counters and gauges (goodput, stall picoseconds, in-flight
+//!   transactions, per-window latency percentiles) render as counter
+//!   tracks beside the phase spans — plus final `ring_dropped_*` samples
+//!   so a truncated trace is self-describing.
 //!
 //! All JSON is hand-rolled: the workspace is offline and the values are
 //! simple enough that a serializer would be pure dependency weight.
@@ -16,6 +21,7 @@ use std::fmt::Write as _;
 
 use crate::json_escape;
 use crate::recorder::FlightRecorder;
+use crate::tracer::Metric;
 
 /// Virtual picoseconds to Chrome's microsecond `ts` unit, with sub-µs
 /// precision kept as a fraction (Perfetto accepts fractional ts).
@@ -83,6 +89,49 @@ impl FlightRecorder {
                 );
             }
         });
+        let mut counter = |track: u32, name: &str, at_picos: u64, value: u64| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"ph\":\"C\",\"pid\":0,\"tid\":{track},\"name\":\"{name}\",\
+                 \"ts\":{},\"args\":{{\"value\":{value}}}}}",
+                picos_to_us(at_picos)
+            );
+        };
+        let ts = self.timeseries();
+        let mut end_picos = 0u64;
+        for (idx, t) in ts.tracks.iter().enumerate() {
+            let label = json_escape(&t.name);
+            end_picos = end_picos.max((t.first_window + t.windows() as u64) * ts.window_picos);
+            for m in Metric::ALL {
+                // An all-zero series would only be counter-track noise.
+                if t.values.iter().all(|v| v[m.index()] == 0) {
+                    continue;
+                }
+                for (w, v) in t.values.iter().enumerate() {
+                    let at = (t.first_window + w as u64) * ts.window_picos;
+                    counter(t.track, &format!("{label}.{m}"), at, v[m.index()]);
+                }
+            }
+            for (w, pcts) in ts.window_percentiles(idx).iter().enumerate() {
+                let Some((p50, p95, p99)) = pcts else {
+                    continue;
+                };
+                let at = (t.first_window + w as u64) * ts.window_picos;
+                counter(t.track, &format!("{label}.latency_p50_ge_picos"), at, *p50);
+                counter(t.track, &format!("{label}.latency_p95_ge_picos"), at, *p95);
+                counter(t.track, &format!("{label}.latency_p99_ge_picos"), at, *p99);
+            }
+        }
+        // Final drop-count samples: a trace whose ring overflowed carries
+        // the evidence in-band, where the missing spans would have been.
+        if !ts.tracks.is_empty() || self.dropped_spans() > 0 || self.dropped_instants() > 0 {
+            counter(0, "ring_dropped_spans", end_picos, self.dropped_spans());
+            counter(0, "ring_dropped_events", end_picos, self.dropped_instants());
+        }
         out.push_str("]}");
         out
     }

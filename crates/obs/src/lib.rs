@@ -15,12 +15,19 @@
 //!   ring of virtual-time [`SpanRecord`]s and [`InstantRecord`]s, plus
 //!   per-track per-[`TrafficClass`](dsnrep_simcore::TrafficClass) packet
 //!   counters and a log2 commit-latency histogram.
+//! * [`MetricsHub`] — named per-track [`Metric`] counters and gauges folded
+//!   into fixed-width virtual-time windows, with a per-window commit-latency
+//!   histogram whose deltas re-aggregate exactly to the whole-run histogram;
+//!   snapshots export as a [`TimeSeries`] (goodput curves, stall
+//!   picoseconds and gauge levels over virtual time).
 //! * [`chrome_trace_json`](FlightRecorder::chrome_trace_json) /
 //!   [`events_jsonl`](FlightRecorder::events_jsonl) /
-//!   [`summary`](FlightRecorder::summary) — three export shapes: a Chrome
-//!   `trace_event` file Perfetto loads directly, a line-per-event JSONL
-//!   stream, and aggregate summary stats (see `OBSERVABILITY.md` at the
-//!   repository root).
+//!   [`summary`](FlightRecorder::summary) /
+//!   [`timeseries`](FlightRecorder::timeseries) — the export shapes: a
+//!   Chrome `trace_event` file Perfetto loads directly (phase spans plus
+//!   `"ph":"C"` counter tracks), a line-per-event JSONL stream, aggregate
+//!   summary stats, and the windowed time-series (see `OBSERVABILITY.md`
+//!   at the repository root).
 //!
 //! # Examples
 //!
@@ -47,6 +54,7 @@ mod attribution;
 mod chrome;
 mod recorder;
 mod summary;
+mod timeseries;
 mod tracer;
 
 pub use attribution::{
@@ -54,7 +62,8 @@ pub use attribution::{
 };
 pub use recorder::{FlightRecorder, InstantRecord, PacketRecord, SpanRecord};
 pub use summary::{TraceSummary, TrackSummary};
-pub use tracer::{NullTracer, Phase, TraceEventKind, Tracer};
+pub use timeseries::{MetricsHub, TimeSeries, TrackTimeSeries, DEFAULT_WINDOW_PICOS};
+pub use tracer::{Metric, MetricKind, NullTracer, Phase, TraceEventKind, Tracer};
 
 /// Conventional track id for a cluster's primary node.
 pub const TRACK_PRIMARY: u32 = 0;

@@ -8,7 +8,8 @@ use std::rc::Rc;
 use dsnrep_simcore::{TrafficClass, VirtualInstant};
 
 use crate::summary::{TraceSummary, TrackSummary};
-use crate::tracer::{Phase, TraceEventKind, Tracer};
+use crate::timeseries::{MetricsHub, TimeSeries, DEFAULT_WINDOW_PICOS};
+use crate::tracer::{Metric, Phase, TraceEventKind, Tracer};
 
 /// A completed phase span on one track.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -68,6 +69,7 @@ struct Inner {
     track_names: Vec<Option<String>>,
     txns: u64,
     commit_latency_log2: [u64; LATENCY_BUCKETS],
+    hub: MetricsHub,
 }
 
 impl Inner {
@@ -140,17 +142,31 @@ impl FlightRecorder {
 
     /// Creates a recorder whose ring capacity honors the
     /// `DSNREP_TRACE_CAP` environment variable (records; falls back to
-    /// [`FlightRecorder::DEFAULT_CAPACITY`] when unset or unparsable).
-    /// Raise it when attribution inputs must not be truncated by the
-    /// drop-oldest ring; the summary's `ring` section reports whether any
-    /// record was dropped.
+    /// [`FlightRecorder::DEFAULT_CAPACITY`] when unset) and whose metrics
+    /// window honors `DSNREP_TS_WINDOW_US` (virtual microseconds; falls
+    /// back to 1 virtual millisecond). A set-but-unusable value of either
+    /// variable is a misconfiguration, not a request for the default, so
+    /// it warns once on stderr before falling back.
+    ///
+    /// Raise the capacity when attribution inputs must not be truncated by
+    /// the drop-oldest ring; the summary's `ring` section reports whether
+    /// any record was dropped.
     pub fn from_env() -> Self {
-        let capacity = std::env::var("DSNREP_TRACE_CAP")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&c| c > 0)
-            .unwrap_or(Self::DEFAULT_CAPACITY);
-        FlightRecorder::with_capacity(capacity)
+        let (capacity, cap_warning) =
+            parse_trace_cap(std::env::var("DSNREP_TRACE_CAP").ok().as_deref());
+        if let Some(message) = cap_warning {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| eprintln!("warning: {message}"));
+        }
+        let (window_picos, window_warning) =
+            parse_window_us(std::env::var("DSNREP_TS_WINDOW_US").ok().as_deref());
+        if let Some(message) = window_warning {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| eprintln!("warning: {message}"));
+        }
+        let rec = FlightRecorder::with_capacity(capacity);
+        rec.set_window_picos(window_picos);
+        rec
     }
 
     /// Creates a recorder whose span ring holds at most `capacity` records
@@ -172,8 +188,37 @@ impl FlightRecorder {
                 track_names: Vec::new(),
                 txns: 0,
                 commit_latency_log2: [0; LATENCY_BUCKETS],
+                hub: MetricsHub::new(DEFAULT_WINDOW_PICOS),
             })),
         }
+    }
+
+    /// Reconfigures the metrics window (virtual picoseconds per window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `picos` is zero or if a metric has already been recorded
+    /// (re-bucketing history is not supported).
+    pub fn set_window_picos(&self, picos: u64) {
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            inner.hub.is_empty(),
+            "metrics window must be set before the first metric is recorded"
+        );
+        inner.hub = MetricsHub::new(picos);
+    }
+
+    /// The metrics window width in virtual picoseconds.
+    pub fn window_picos(&self) -> u64 {
+        self.inner.borrow().hub.window_picos()
+    }
+
+    /// Snapshots the windowed metric time-series recorded so far (the open
+    /// window becomes the final, possibly partial, window). Idempotent:
+    /// snapshotting does not mutate the live hub.
+    pub fn timeseries(&self) -> TimeSeries {
+        let inner = self.inner.borrow();
+        inner.hub.snapshot(&|track| self.track_name(track))
     }
 
     /// Names a track for trace output (e.g. `"primary"`, `"backup"`).
@@ -334,6 +379,10 @@ impl Tracer for FlightRecorder {
             // floor(log2(picos)); zero-length spans land in bucket 0.
             let bucket = 63 - picos.max(1).leading_zeros() as usize;
             inner.commit_latency_log2[bucket] += 1;
+            // The time-series derives goodput and latency-over-time from
+            // the same events, attributed to the commit instant's window.
+            inner.hub.counter_add(track, Metric::CommittedTxns, end, 1);
+            inner.hub.observe_latency(track, end, bucket);
         }
         if inner.spans.len() == inner.capacity {
             inner.spans.pop_front();
@@ -361,13 +410,83 @@ impl Tracer for FlightRecorder {
         });
     }
 
-    fn packet(&self, track: u32, _at: VirtualInstant, class_bytes: [u64; 3]) {
+    fn packet(&self, track: u32, at: VirtualInstant, class_bytes: [u64; 3]) {
         let mut inner = self.inner.borrow_mut();
         let t = inner.track_mut(track);
         t.packets += 1;
         for (sum, bytes) in t.bytes_by_class.iter_mut().zip(class_bytes) {
             *sum += bytes;
         }
+        inner.hub.counter_add(track, Metric::SanPackets, at, 1);
+        let by_class = [
+            (TrafficClass::Modified, Metric::SanModifiedBytes),
+            (TrafficClass::Undo, Metric::SanUndoBytes),
+            (TrafficClass::Meta, Metric::SanMetaBytes),
+        ];
+        for (class, metric) in by_class {
+            inner
+                .hub
+                .counter_add(track, metric, at, class_bytes[class.index()]);
+        }
+    }
+
+    fn counter_add(&self, track: u32, metric: Metric, at: VirtualInstant, delta: u64) {
+        self.inner
+            .borrow_mut()
+            .hub
+            .counter_add(track, metric, at, delta);
+    }
+
+    fn gauge_set(&self, track: u32, metric: Metric, at: VirtualInstant, value: u64) {
+        self.inner
+            .borrow_mut()
+            .hub
+            .gauge_set(track, metric, at, value);
+    }
+
+    fn sample_to(&self, at: VirtualInstant) {
+        self.inner.borrow_mut().hub.sample_to(at);
+    }
+}
+
+/// Interprets `DSNREP_TRACE_CAP`: `None` (unset) means the default
+/// capacity; a set value must parse as a positive record count, and
+/// anything else yields the default **plus a warning message** — a set
+/// variable the recorder cannot honor should never be silent.
+pub(crate) fn parse_trace_cap(raw: Option<&str>) -> (usize, Option<String>) {
+    match raw {
+        None => (FlightRecorder::DEFAULT_CAPACITY, None),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(cap) if cap > 0 => (cap, None),
+            _ => (
+                FlightRecorder::DEFAULT_CAPACITY,
+                Some(format!(
+                    "DSNREP_TRACE_CAP={v:?} is not a positive record count; \
+                     using the default of {} records",
+                    FlightRecorder::DEFAULT_CAPACITY
+                )),
+            ),
+        },
+    }
+}
+
+/// Interprets `DSNREP_TS_WINDOW_US` (virtual microseconds per metrics
+/// window) with the same contract as [`parse_trace_cap`]: unset means the
+/// default, unusable means the default plus a warning.
+pub(crate) fn parse_window_us(raw: Option<&str>) -> (u64, Option<String>) {
+    match raw {
+        None => (DEFAULT_WINDOW_PICOS, None),
+        Some(v) => match v.trim().parse::<u64>() {
+            Ok(us) if us > 0 && us <= u64::MAX / 1_000_000 => (us * 1_000_000, None),
+            _ => (
+                DEFAULT_WINDOW_PICOS,
+                Some(format!(
+                    "DSNREP_TS_WINDOW_US={v:?} is not a usable window width; \
+                     using the default of {} virtual us",
+                    DEFAULT_WINDOW_PICOS / 1_000_000
+                )),
+            ),
+        },
     }
 }
 
@@ -451,5 +570,72 @@ mod tests {
         let t = at(77);
         rec.span(0, Phase::Txn, t, t);
         assert_eq!(rec.summary().commit_latency_log2[0], 1);
+    }
+
+    #[test]
+    fn trace_cap_unset_is_default_without_warning() {
+        assert_eq!(
+            parse_trace_cap(None),
+            (FlightRecorder::DEFAULT_CAPACITY, None)
+        );
+        let (cap, warning) = parse_trace_cap(Some("4096"));
+        assert_eq!(cap, 4096);
+        assert!(warning.is_none());
+    }
+
+    #[test]
+    fn unusable_trace_cap_warns_and_falls_back() {
+        for bad in ["", "0", "-3", "lots", "1.5"] {
+            let (cap, warning) = parse_trace_cap(Some(bad));
+            assert_eq!(cap, FlightRecorder::DEFAULT_CAPACITY, "input {bad:?}");
+            let message = warning.unwrap_or_else(|| panic!("no warning for {bad:?}"));
+            assert!(message.contains("DSNREP_TRACE_CAP"), "{message}");
+            assert!(message.contains(&format!("{bad:?}")), "{message}");
+        }
+    }
+
+    #[test]
+    fn unusable_window_warns_and_falls_back() {
+        use crate::timeseries::DEFAULT_WINDOW_PICOS;
+        assert_eq!(parse_window_us(None), (DEFAULT_WINDOW_PICOS, None));
+        assert_eq!(parse_window_us(Some("250")), (250_000_000, None));
+        for bad in ["0", "zero", "", "99999999999999999999"] {
+            let (picos, warning) = parse_window_us(Some(bad));
+            assert_eq!(picos, DEFAULT_WINDOW_PICOS, "input {bad:?}");
+            assert!(
+                warning.is_some_and(|m| m.contains("DSNREP_TS_WINDOW_US")),
+                "input {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn txn_spans_and_packets_feed_the_timeseries() {
+        use crate::tracer::Metric;
+        let rec = FlightRecorder::new();
+        rec.set_window_picos(1_000);
+        rec.set_track_name(0, "primary");
+        rec.packet(0, at(100), [32, 8, 4]);
+        rec.span(0, Phase::Txn, at(0), at(1024)); // commits in window 1
+        rec.packet(0, at(2_100), [16, 0, 0]);
+        let ts = rec.timeseries();
+        let t = &ts.tracks[0];
+        assert_eq!(t.name, "primary");
+        assert_eq!(t.counter_deltas(Metric::CommittedTxns), vec![0, 1, 0]);
+        assert_eq!(t.counter_deltas(Metric::SanPackets), vec![1, 0, 1]);
+        assert_eq!(t.counter_deltas(Metric::SanModifiedBytes), vec![32, 0, 16]);
+        assert_eq!(t.counter_deltas(Metric::SanUndoBytes), vec![8, 0, 0]);
+        assert_eq!(t.counter_deltas(Metric::SanMetaBytes), vec![4, 0, 0]);
+        assert_eq!(ts.latency_reaggregated()[10], 1);
+        // Snapshotting is idempotent: the live hub is untouched.
+        assert_eq!(rec.timeseries(), ts);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first metric")]
+    fn window_cannot_change_after_metrics_recorded() {
+        let rec = FlightRecorder::new();
+        rec.span(0, Phase::Txn, at(0), at(10));
+        rec.set_window_picos(500);
     }
 }

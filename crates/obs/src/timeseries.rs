@@ -1,0 +1,782 @@
+//! Windowed virtual-time metric time-series: the [`MetricsHub`].
+//!
+//! Whole-run aggregates (summary.json, attribution.json) answer *where the
+//! time went*; they cannot answer *when* — what goodput looked like while a
+//! takeover was in flight, how far p99 moved during the write-buffer storm
+//! a barrier caused, how long after `recovery_start` the first transaction
+//! committed. The hub answers those questions by bucketing every metric
+//! published through the [`Tracer`](crate::Tracer) seam into fixed
+//! virtual-time windows:
+//!
+//! * **Counters** accumulate per-window deltas whose sum equals the
+//!   whole-run total *exactly* ([`TimeSeries::verify_against_summary`]
+//!   checks the conservation law for every exported series).
+//! * **Gauges** export the last value set within each window, carrying the
+//!   level across idle windows.
+//! * The **commit-latency log₂ histogram** is windowed the same way, so
+//!   each window yields its own p50/p95/p99 and the per-window deltas
+//!   re-aggregate to the run histogram bit-for-bit.
+//!
+//! # Determinism contract
+//!
+//! Windows are derived purely from virtual timestamps (`window = at /
+//! window_picos`), never from host time or driver pacing. A
+//! Scheduler-driven sampler calling [`Tracer::sample_to`] on a
+//! [`Periodic`](dsnrep_simcore::Periodic) cadence only *materializes*
+//! windows the timestamps already closed — the exported series is
+//! byte-identical with or without a sampler, which is what lets the
+//! time-series ride the tracer seam without perturbing a single virtual
+//! outcome.
+//!
+//! Per-track updates are clock-monotone in practice; an update timestamped
+//! before the track's open window (cross-clock skew between a machine
+//! clock and its link send times) is attributed to the open window, so
+//! totals are conserved under any interleaving.
+
+use std::fmt::Write as _;
+
+use dsnrep_simcore::{StallCause, TrafficClass, VirtualInstant};
+
+use crate::summary::TraceSummary;
+use crate::tracer::{Metric, MetricKind};
+
+/// Commit-latency histogram bucket count (mirrors the recorder).
+const LATENCY_BUCKETS: usize = 64;
+
+/// Default window width: 1 virtual millisecond (10⁹ picoseconds).
+pub const DEFAULT_WINDOW_PICOS: u64 = 1_000_000_000;
+
+/// The still-accumulating window at a track's head.
+#[derive(Clone, Debug)]
+struct OpenWindow {
+    index: u64,
+    values: [u64; Metric::COUNT],
+    latency: [u64; LATENCY_BUCKETS],
+}
+
+impl OpenWindow {
+    fn new(index: u64, carried: &[u64; Metric::COUNT]) -> Self {
+        let mut values = [0u64; Metric::COUNT];
+        for m in Metric::ALL {
+            if m.kind() == MetricKind::Gauge {
+                values[m.index()] = carried[m.index()];
+            }
+        }
+        OpenWindow {
+            index,
+            values,
+            latency: [0; LATENCY_BUCKETS],
+        }
+    }
+
+    fn close(&self) -> ClosedWindow {
+        ClosedWindow {
+            values: self.values,
+            latency: self
+                .latency
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(b, &c)| (b as u8, c))
+                .collect(),
+        }
+    }
+}
+
+/// One finished window: metric values plus a sparse latency histogram.
+#[derive(Clone, Debug)]
+struct ClosedWindow {
+    values: [u64; Metric::COUNT],
+    latency: Vec<(u8, u64)>,
+}
+
+/// One track's window sequence. Closed windows are contiguous from
+/// `first_window`; the open window always sits at
+/// `first_window + closed.len()`.
+#[derive(Clone, Debug, Default)]
+struct TrackSeries {
+    touched: bool,
+    first_window: u64,
+    last_update: u64,
+    closed: Vec<ClosedWindow>,
+    open: Option<OpenWindow>,
+}
+
+impl TrackSeries {
+    /// Advances the open window to `target`, closing it (and materializing
+    /// any idle windows in between: zero counter deltas, carried gauge
+    /// levels) as needed. A target at or before the open window is the
+    /// clamp case and changes nothing.
+    fn advance_to(&mut self, target: u64) {
+        let Some(open) = self.open.as_mut() else {
+            self.open = Some(OpenWindow::new(target, &[0; Metric::COUNT]));
+            self.first_window = target;
+            return;
+        };
+        while open.index < target {
+            let carried = open.values;
+            let next = open.index + 1;
+            self.closed.push(open.close());
+            *open = OpenWindow::new(next, &carried);
+        }
+    }
+
+    fn ensure(&mut self, at: u64, window_picos: u64) -> &mut OpenWindow {
+        self.touched = true;
+        self.last_update = self.last_update.max(at);
+        self.advance_to(at / window_picos);
+        self.open.as_mut().expect("advance_to opened a window")
+    }
+}
+
+/// A hub of named per-track counters and gauges bucketed into fixed
+/// virtual-time windows.
+///
+/// The [`FlightRecorder`](crate::FlightRecorder) embeds one and feeds it
+/// from its [`Tracer`](crate::Tracer) methods; it can also be driven
+/// directly.
+///
+/// # Examples
+///
+/// ```
+/// use dsnrep_obs::{Metric, MetricsHub};
+/// use dsnrep_simcore::VirtualInstant;
+///
+/// let mut hub = MetricsHub::new(1_000); // 1 ns windows
+/// hub.counter_add(0, Metric::CommittedTxns, VirtualInstant::from_picos(100), 1);
+/// hub.counter_add(0, Metric::CommittedTxns, VirtualInstant::from_picos(2_500), 2);
+/// let ts = hub.snapshot(&|track| format!("track {track}"));
+/// assert_eq!(ts.tracks[0].counter_deltas(Metric::CommittedTxns), vec![1, 0, 2]);
+/// assert_eq!(ts.tracks[0].counter_total(Metric::CommittedTxns), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MetricsHub {
+    window_picos: u64,
+    tracks: Vec<TrackSeries>,
+}
+
+impl MetricsHub {
+    /// Creates a hub bucketing at `window_picos` virtual picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_picos` is zero.
+    pub fn new(window_picos: u64) -> Self {
+        assert!(window_picos > 0, "metrics window must be nonzero");
+        MetricsHub {
+            window_picos,
+            tracks: Vec::new(),
+        }
+    }
+
+    /// The window width in virtual picoseconds.
+    pub fn window_picos(&self) -> u64 {
+        self.window_picos
+    }
+
+    /// Whether any metric has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.tracks.iter().all(|t| !t.touched)
+    }
+
+    fn track_mut(&mut self, track: u32) -> &mut TrackSeries {
+        let idx = track as usize;
+        if idx >= self.tracks.len() {
+            self.tracks.resize_with(idx + 1, TrackSeries::default);
+        }
+        &mut self.tracks[idx]
+    }
+
+    /// Adds `delta` to counter `metric` on `track`, attributed to the
+    /// window containing `at`.
+    pub fn counter_add(&mut self, track: u32, metric: Metric, at: VirtualInstant, delta: u64) {
+        debug_assert_eq!(metric.kind(), MetricKind::Counter, "{metric} is a gauge");
+        if delta == 0 {
+            return;
+        }
+        let w = self.window_picos;
+        let open = self.track_mut(track).ensure(at.as_picos(), w);
+        open.values[metric.index()] += delta;
+    }
+
+    /// Sets gauge `metric` on `track` to `value` within the window
+    /// containing `at`; the level carries across idle windows.
+    pub fn gauge_set(&mut self, track: u32, metric: Metric, at: VirtualInstant, value: u64) {
+        debug_assert_eq!(metric.kind(), MetricKind::Gauge, "{metric} is a counter");
+        let w = self.window_picos;
+        let open = self.track_mut(track).ensure(at.as_picos(), w);
+        open.values[metric.index()] = value;
+    }
+
+    /// Records one commit in log₂ latency `bucket` within the window
+    /// containing `at` (a `Txn` span's end instant).
+    pub fn observe_latency(&mut self, track: u32, at: VirtualInstant, bucket: usize) {
+        let w = self.window_picos;
+        let open = self.track_mut(track).ensure(at.as_picos(), w);
+        open.latency[bucket.min(LATENCY_BUCKETS - 1)] += 1;
+    }
+
+    /// Materializes every window that the timestamps recorded so far have
+    /// already closed, without attributing anything to `at` itself: each
+    /// track advances only to `min(at, last update on that track)`, so a
+    /// periodic sampler calling this produces a byte-identical series to a
+    /// driver that never samples. See the module docs.
+    pub fn sample_to(&mut self, at: VirtualInstant) {
+        let w = self.window_picos;
+        for track in &mut self.tracks {
+            if track.touched {
+                let horizon = at.as_picos().min(track.last_update);
+                track.advance_to(horizon / w);
+            }
+        }
+    }
+
+    /// Snapshots the series recorded so far (the open window becomes the
+    /// final, possibly partial, window). `name_of` supplies display names,
+    /// typically [`FlightRecorder::track_name`](crate::FlightRecorder::track_name).
+    pub fn snapshot(&self, name_of: &dyn Fn(u32) -> String) -> TimeSeries {
+        let tracks = self
+            .tracks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.touched)
+            .map(|(i, t)| {
+                let mut windows: Vec<ClosedWindow> = t.closed.clone();
+                if let Some(open) = &t.open {
+                    windows.push(open.close());
+                }
+                TrackTimeSeries {
+                    track: i as u32,
+                    name: name_of(i as u32),
+                    first_window: t.first_window,
+                    values: windows.iter().map(|w| w.values).collect(),
+                    latency: windows.into_iter().map(|w| w.latency).collect(),
+                }
+            })
+            .collect();
+        TimeSeries {
+            window_picos: self.window_picos,
+            tracks,
+        }
+    }
+}
+
+/// One track's exported window sequence (dense from `first_window`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrackTimeSeries {
+    /// Track id.
+    pub track: u32,
+    /// Display name.
+    pub name: String,
+    /// Virtual-time index of the first window (`start = first_window *
+    /// window_picos`).
+    pub first_window: u64,
+    /// Per-window metric values in [`Metric::ALL`] order: counter deltas
+    /// and last-set gauge levels.
+    pub values: Vec<[u64; Metric::COUNT]>,
+    /// Per-window sparse commit-latency histogram: `(log2 bucket, count)`.
+    pub latency: Vec<Vec<(u8, u64)>>,
+}
+
+impl TrackTimeSeries {
+    /// Number of windows exported for this track.
+    pub fn windows(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The per-window delta series of a counter.
+    pub fn counter_deltas(&self, metric: Metric) -> Vec<u64> {
+        debug_assert_eq!(metric.kind(), MetricKind::Counter);
+        self.values.iter().map(|v| v[metric.index()]).collect()
+    }
+
+    /// The whole-run total of a counter (sum of its window deltas).
+    pub fn counter_total(&self, metric: Metric) -> u64 {
+        self.values.iter().map(|v| v[metric.index()]).sum()
+    }
+
+    /// The per-window last-set level series of a gauge.
+    pub fn gauge_levels(&self, metric: Metric) -> Vec<u64> {
+        debug_assert_eq!(metric.kind(), MetricKind::Gauge);
+        self.values.iter().map(|v| v[metric.index()]).collect()
+    }
+}
+
+/// A snapshot of every track's windowed metrics, exportable as
+/// `timeseries.json` and as Perfetto counter tracks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimeSeries {
+    /// The window width in virtual picoseconds.
+    pub window_picos: u64,
+    /// Per-track series, track id ascending.
+    pub tracks: Vec<TrackTimeSeries>,
+}
+
+/// The percentile of a sparse log₂ histogram, with the same bucket
+/// semantics as [`TraceSummary::commit_latency_percentile`]: the lower
+/// bound in picoseconds of the bucket containing the `q`-th quantile.
+fn sparse_percentile(buckets: &[(u8, u64)], q: f64) -> Option<u64> {
+    let total: u128 = buckets.iter().map(|&(_, c)| c as u128).sum();
+    if total == 0 {
+        return None;
+    }
+    let rank = ((q * total as f64).ceil() as u128).clamp(1, total);
+    let mut seen: u128 = 0;
+    for &(bucket, count) in buckets {
+        seen += count as u128;
+        if seen >= rank {
+            return Some(1u64 << (bucket as usize).min(63));
+        }
+    }
+    unreachable!("rank {rank} exceeds total {total}")
+}
+
+impl TimeSeries {
+    /// Sums the commit-latency windows of every track back into one
+    /// whole-run log₂ histogram — the re-aggregation that must equal the
+    /// recorder's `commit_latency_log2` exactly.
+    pub fn latency_reaggregated(&self) -> Vec<u64> {
+        let mut hist = vec![0u64; LATENCY_BUCKETS];
+        for track in &self.tracks {
+            for window in &track.latency {
+                for &(bucket, count) in window {
+                    hist[bucket as usize] += count;
+                }
+            }
+        }
+        hist
+    }
+
+    /// The whole-run total of `metric` summed across every track.
+    pub fn counter_total(&self, metric: Metric) -> u64 {
+        self.tracks.iter().map(|t| t.counter_total(metric)).sum()
+    }
+
+    /// Per-window committed transactions summed across tracks, as
+    /// `(window_index, committed)` — the goodput curve. Windows outside
+    /// every track's range are absent; overlapping tracks merge.
+    pub fn goodput_curve(&self) -> Vec<(u64, u64)> {
+        let mut curve: Vec<(u64, u64)> = Vec::new();
+        let lo = self.tracks.iter().map(|t| t.first_window).min();
+        let hi = self
+            .tracks
+            .iter()
+            .map(|t| t.first_window + t.windows() as u64)
+            .max();
+        let (Some(lo), Some(hi)) = (lo, hi) else {
+            return curve;
+        };
+        for w in lo..hi {
+            let committed: u64 = self
+                .tracks
+                .iter()
+                .filter_map(|t| {
+                    let idx = w.checked_sub(t.first_window)? as usize;
+                    let v = t.values.get(idx)?;
+                    Some(v[Metric::CommittedTxns.index()])
+                })
+                .sum();
+            curve.push((w, committed));
+        }
+        curve
+    }
+
+    /// Verifies every conservation law the export promises, against the
+    /// whole-run aggregates of the same recorder:
+    ///
+    /// * Σ `committed_txns` deltas == `summary.txns`;
+    /// * per track (matched by name), Σ packet/byte deltas == the
+    ///   traffic-class matrix row;
+    /// * the re-aggregated latency histogram == `commit_latency_log2`;
+    /// * per stream (matched by name), Σ per-cause stall deltas == the
+    ///   stall breakdown merged into the summary.
+    ///
+    /// Returns the first violated law as `Err`.
+    pub fn verify_against_summary(&self, summary: &TraceSummary) -> Result<(), String> {
+        let committed = self.counter_total(Metric::CommittedTxns);
+        if committed != summary.txns {
+            return Err(format!(
+                "committed_txns deltas sum to {committed}, summary says {}",
+                summary.txns
+            ));
+        }
+        for row in &summary.tracks {
+            let Some(track) = self.tracks.iter().find(|t| t.name == row.name) else {
+                if row.packets > 0 {
+                    return Err(format!("track {} has packets but no series", row.name));
+                }
+                continue;
+            };
+            let packets = track.counter_total(Metric::SanPackets);
+            if packets != row.packets {
+                return Err(format!(
+                    "{}: san_packets deltas sum to {packets}, summary says {}",
+                    row.name, row.packets
+                ));
+            }
+            let by_class = [
+                (TrafficClass::Modified, Metric::SanModifiedBytes),
+                (TrafficClass::Undo, Metric::SanUndoBytes),
+                (TrafficClass::Meta, Metric::SanMetaBytes),
+            ];
+            for (class, metric) in by_class {
+                let total = track.counter_total(metric);
+                if total != row.bytes_by_class[class.index()] {
+                    return Err(format!(
+                        "{}: {metric} deltas sum to {total}, summary says {}",
+                        row.name,
+                        row.bytes_by_class[class.index()]
+                    ));
+                }
+            }
+        }
+        let reagg = self.latency_reaggregated();
+        if reagg != summary.commit_latency_log2 {
+            return Err(
+                "windowed latency histogram does not re-aggregate to the run histogram".to_string(),
+            );
+        }
+        for (stream, picos) in &summary.stall_picos {
+            let Some(track) = self.tracks.iter().find(|t| &t.name == stream) else {
+                continue;
+            };
+            for cause in StallCause::ALL {
+                let metric = Metric::stall(cause);
+                let total = track.counter_total(metric);
+                if total != picos[cause.index()] {
+                    return Err(format!(
+                        "{stream}: {metric} deltas sum to {total}, clock says {}",
+                        picos[cause.index()]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the snapshot as pretty-printed, schema-versioned JSON
+    /// (`timeseries.json`). Every value is virtual, so `simdiff` gates the
+    /// whole artifact bit-exactly.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(
+            out,
+            "  \"schema_version\": {},",
+            crate::TRACE_SCHEMA_VERSION
+        );
+        let _ = writeln!(out, "  \"window_picos\": {},", self.window_picos);
+        out.push_str("  \"tracks\": [");
+        for (i, t) in self.tracks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\n      \"track\": {},\n      \"name\": \"{}\",\n      \
+                 \"first_window\": {},\n      \"windows\": {},",
+                t.track,
+                crate::json_escape(&t.name),
+                t.first_window,
+                t.windows()
+            );
+            out.push_str("\n      \"counters\": {");
+            let mut first = true;
+            for m in Metric::ALL {
+                if m.kind() != MetricKind::Counter {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "\n        \"{m}\": {{\"total\": {}, \"deltas\": {}}}",
+                    t.counter_total(m),
+                    render_u64_array(&t.counter_deltas(m))
+                );
+            }
+            out.push_str("\n      },\n      \"gauges\": {");
+            let mut first = true;
+            for m in Metric::ALL {
+                if m.kind() != MetricKind::Gauge {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "\n        \"{m}\": {}",
+                    render_u64_array(&t.gauge_levels(m))
+                );
+            }
+            out.push_str("\n      },\n      \"latency_log2\": [");
+            let mut first = true;
+            for (w, buckets) in t.latency.iter().enumerate() {
+                if buckets.is_empty() {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "\n        {{\"window\": {}, \"buckets\": [",
+                    t.first_window + w as u64
+                );
+                for (j, &(bucket, count)) in buckets.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(
+                        out,
+                        "{{\"ge_picos\": {}, \"count\": {count}}}",
+                        1u128 << bucket
+                    );
+                }
+                out.push_str("]}");
+            }
+            out.push_str("\n      ],\n      \"latency_percentiles\": [");
+            let mut first = true;
+            for (w, buckets) in t.latency.iter().enumerate() {
+                let (Some(p50), Some(p95), Some(p99)) = (
+                    sparse_percentile(buckets, 0.50),
+                    sparse_percentile(buckets, 0.95),
+                    sparse_percentile(buckets, 0.99),
+                ) else {
+                    continue;
+                };
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "\n        {{\"window\": {}, \"p50_ge_picos\": {p50}, \
+                     \"p95_ge_picos\": {p95}, \"p99_ge_picos\": {p99}}}",
+                    t.first_window + w as u64
+                );
+            }
+            out.push_str("\n      ]\n    }");
+        }
+        out.push_str("\n  ]\n}");
+        out
+    }
+
+    /// Per-window (p50, p95, p99) for one track, `None` for windows with
+    /// no commit — the percentiles-over-time series the counter tracks
+    /// render.
+    pub fn window_percentiles(&self, track_index: usize) -> Vec<Option<(u64, u64, u64)>> {
+        self.tracks[track_index]
+            .latency
+            .iter()
+            .map(|buckets| {
+                Some((
+                    sparse_percentile(buckets, 0.50)?,
+                    sparse_percentile(buckets, 0.95)?,
+                    sparse_percentile(buckets, 0.99)?,
+                ))
+            })
+            .collect()
+    }
+}
+
+fn render_u64_array(values: &[u64]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(p: u64) -> VirtualInstant {
+        VirtualInstant::from_picos(p)
+    }
+
+    fn names(track: u32) -> String {
+        format!("t{track}")
+    }
+
+    #[test]
+    fn counter_deltas_land_in_their_windows_and_conserve() {
+        let mut hub = MetricsHub::new(100);
+        hub.counter_add(0, Metric::CommittedTxns, at(10), 1);
+        hub.counter_add(0, Metric::CommittedTxns, at(150), 2);
+        hub.counter_add(0, Metric::CommittedTxns, at(460), 3);
+        let ts = hub.snapshot(&names);
+        let t = &ts.tracks[0];
+        assert_eq!(t.first_window, 0);
+        assert_eq!(t.counter_deltas(Metric::CommittedTxns), vec![1, 2, 0, 0, 3]);
+        assert_eq!(t.counter_total(Metric::CommittedTxns), 6);
+    }
+
+    #[test]
+    fn gauges_carry_their_level_across_idle_windows() {
+        let mut hub = MetricsHub::new(100);
+        hub.gauge_set(0, Metric::InflightTxns, at(50), 7);
+        hub.counter_add(0, Metric::SanPackets, at(350), 1);
+        hub.gauge_set(0, Metric::InflightTxns, at(360), 2);
+        let ts = hub.snapshot(&names);
+        assert_eq!(
+            ts.tracks[0].gauge_levels(Metric::InflightTxns),
+            [7, 7, 7, 2]
+        );
+    }
+
+    #[test]
+    fn late_update_is_clamped_into_the_open_window() {
+        let mut hub = MetricsHub::new(100);
+        hub.counter_add(0, Metric::SanPackets, at(250), 1); // opens window 2
+        hub.counter_add(0, Metric::SanPackets, at(40), 1); // late: clamped
+        let ts = hub.snapshot(&names);
+        assert_eq!(ts.tracks[0].first_window, 2);
+        assert_eq!(ts.tracks[0].counter_deltas(Metric::SanPackets), vec![2]);
+    }
+
+    #[test]
+    fn tracks_window_independently() {
+        let mut hub = MetricsHub::new(100);
+        hub.counter_add(0, Metric::SanPackets, at(10), 1);
+        hub.counter_add(1, Metric::SanPackets, at(910), 4);
+        let ts = hub.snapshot(&names);
+        assert_eq!(ts.tracks[0].first_window, 0);
+        assert_eq!(ts.tracks[0].windows(), 1);
+        assert_eq!(ts.tracks[1].first_window, 9);
+        assert_eq!(ts.tracks[1].windows(), 1);
+        assert_eq!(ts.counter_total(Metric::SanPackets), 5);
+    }
+
+    #[test]
+    fn sample_to_is_materialization_only() {
+        let drive = |sampled: bool| {
+            let mut hub = MetricsHub::new(100);
+            hub.counter_add(0, Metric::CommittedTxns, at(10), 1);
+            hub.observe_latency(0, at(10), 4);
+            if sampled {
+                hub.sample_to(at(100));
+                hub.sample_to(at(200));
+            }
+            hub.gauge_set(1, Metric::WbufDirtyLines, at(230), 3);
+            if sampled {
+                hub.sample_to(at(300));
+                // A sampler far past the last update must not conjure
+                // windows no timestamp closed.
+                hub.sample_to(at(5_000));
+            }
+            hub.counter_add(0, Metric::CommittedTxns, at(420), 1);
+            hub.snapshot(&names)
+        };
+        let lazy = drive(false);
+        let sampled = drive(true);
+        assert_eq!(lazy, sampled, "sampler changed the exported series");
+        assert_eq!(lazy.to_json(), sampled.to_json());
+    }
+
+    #[test]
+    fn latency_windows_reaggregate_exactly() {
+        let mut hub = MetricsHub::new(100);
+        hub.observe_latency(0, at(10), 4);
+        hub.observe_latency(0, at(20), 4);
+        hub.observe_latency(0, at(150), 9);
+        hub.observe_latency(1, at(460), 4);
+        let ts = hub.snapshot(&names);
+        let hist = ts.latency_reaggregated();
+        assert_eq!(hist[4], 3);
+        assert_eq!(hist[9], 1);
+        assert_eq!(hist.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn goodput_curve_merges_tracks_over_the_union_range() {
+        let mut hub = MetricsHub::new(100);
+        hub.counter_add(0, Metric::CommittedTxns, at(10), 2);
+        hub.counter_add(0, Metric::CommittedTxns, at(110), 1);
+        hub.counter_add(1, Metric::CommittedTxns, at(210), 5);
+        let ts = hub.snapshot(&names);
+        assert_eq!(ts.goodput_curve(), vec![(0, 2), (1, 1), (2, 5)]);
+    }
+
+    #[test]
+    fn verify_against_summary_accepts_matching_aggregates() {
+        use crate::tracer::{Phase, Tracer};
+        use crate::FlightRecorder;
+
+        let rec = FlightRecorder::new();
+        rec.set_track_name(0, "primary");
+        rec.span(0, Phase::Txn, at(0), at(1024));
+        rec.span(0, Phase::Txn, at(2_000), at(4_000));
+        rec.packet(0, at(100), [32, 8, 4]);
+        rec.counter_add(0, Metric::stall(StallCause::TwoSafe), at(3_000), 41);
+        let mut summary = rec.summary();
+        let mut breakdown = [dsnrep_simcore::VirtualDuration::ZERO; StallCause::COUNT];
+        breakdown[StallCause::TwoSafe.index()] = dsnrep_simcore::VirtualDuration::from_picos(41);
+        summary.set_stalls("primary", breakdown);
+        let ts = rec.timeseries();
+        ts.verify_against_summary(&summary).expect("conserved");
+
+        // Break one law and the check must name it.
+        let mut broken = summary.clone();
+        broken.txns += 1;
+        let err = ts.verify_against_summary(&broken).unwrap_err();
+        assert!(err.contains("committed_txns"), "{err}");
+    }
+
+    #[test]
+    fn verify_catches_stall_divergence() {
+        use crate::FlightRecorder;
+        use crate::Tracer;
+
+        let rec = FlightRecorder::new();
+        rec.set_track_name(0, "primary");
+        rec.counter_add(0, Metric::StallRingFull, at(10), 5);
+        let mut summary = rec.summary();
+        let mut breakdown = [dsnrep_simcore::VirtualDuration::ZERO; StallCause::COUNT];
+        breakdown[StallCause::RingFull.index()] = dsnrep_simcore::VirtualDuration::from_picos(6);
+        summary.set_stalls("primary", breakdown);
+        let err = rec
+            .timeseries()
+            .verify_against_summary(&summary)
+            .unwrap_err();
+        assert!(err.contains("ring_full"), "{err}");
+    }
+
+    #[test]
+    fn json_is_schema_versioned_and_balanced() {
+        let mut hub = MetricsHub::new(1_000);
+        hub.counter_add(0, Metric::CommittedTxns, at(10), 1);
+        hub.observe_latency(0, at(10), 10);
+        hub.gauge_set(0, Metric::CacheOccupancyLines, at(20), 99);
+        let json = hub.snapshot(&|_| "primary".to_string()).to_json();
+        assert!(json.contains(&format!(
+            "\"schema_version\": {}",
+            crate::TRACE_SCHEMA_VERSION
+        )));
+        assert!(json.contains("\"window_picos\": 1000"));
+        assert!(json.contains("\"committed_txns\": {\"total\": 1, \"deltas\": [1]}"));
+        assert!(json.contains("\"cache_occupancy_lines\": [99]"));
+        assert!(json.contains("\"ge_picos\": 1024, \"count\": 1"));
+        assert!(json.contains("\"p50_ge_picos\": 1024"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn sparse_percentile_matches_summary_semantics() {
+        let buckets = [(8u8, 90u64), (12, 9), (20, 1)];
+        assert_eq!(sparse_percentile(&buckets, 0.50), Some(1 << 8));
+        assert_eq!(sparse_percentile(&buckets, 0.95), Some(1 << 12));
+        assert_eq!(sparse_percentile(&buckets, 1.0), Some(1 << 20));
+        assert_eq!(sparse_percentile(&[], 0.5), None);
+    }
+}

@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use dsnrep_simcore::VirtualInstant;
+use dsnrep_simcore::{StallCause, VirtualInstant};
 
 /// A per-transaction pipeline phase, the unit of span attribution.
 ///
@@ -99,6 +99,131 @@ impl fmt::Display for TraceEventKind {
     }
 }
 
+/// Whether a [`Metric`] accumulates (counter) or snapshots (gauge).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MetricKind {
+    /// Monotone accumulator; the time-series exports per-window deltas and
+    /// their sum must equal the whole-run total exactly.
+    Counter,
+    /// Instantaneous level; the time-series exports the last value set in
+    /// each window.
+    Gauge,
+}
+
+/// A named per-track metric published through the [`Tracer`] seam.
+///
+/// Counters are deltas summed into windows (conservation: window deltas
+/// re-aggregate to the whole-run total); gauges are levels sampled as the
+/// last value set within each window. Stall counters are in picoseconds and
+/// mirror [`StallCause::ALL`] one-to-one via [`Metric::stall`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Metric {
+    /// Transactions committed (counter).
+    CommittedTxns,
+    /// SAN packets sent (counter).
+    SanPackets,
+    /// SAN payload bytes carrying modified data (counter).
+    SanModifiedBytes,
+    /// SAN payload bytes carrying undo-log or mirror data (counter).
+    SanUndoBytes,
+    /// SAN payload bytes carrying control metadata (counter).
+    SanMetaBytes,
+    /// Picoseconds stalled on the posted-write window (counter).
+    StallPostedWindow,
+    /// Picoseconds stalled on write-buffer flush drains (counter).
+    StallWbufFlush,
+    /// Picoseconds stalled waiting for 2-safe delivery acks (counter).
+    StallTwoSafe,
+    /// Picoseconds stalled on redo-ring flow control (counter).
+    StallRingFull,
+    /// Picoseconds a backup stalled waiting for data visibility (counter).
+    StallDataVisibility,
+    /// Picoseconds stalled on uncategorised waits (counter).
+    StallOther,
+    /// Transactions currently between begin and commit/abort (gauge).
+    InflightTxns,
+    /// Dirty write-buffer lines awaiting merge or flush (gauge).
+    WbufDirtyLines,
+    /// Valid lines resident in the board cache (gauge).
+    CacheOccupancyLines,
+}
+
+impl Metric {
+    /// Every metric, in display order (counters first, then gauges).
+    pub const ALL: [Metric; 14] = [
+        Metric::CommittedTxns,
+        Metric::SanPackets,
+        Metric::SanModifiedBytes,
+        Metric::SanUndoBytes,
+        Metric::SanMetaBytes,
+        Metric::StallPostedWindow,
+        Metric::StallWbufFlush,
+        Metric::StallTwoSafe,
+        Metric::StallRingFull,
+        Metric::StallDataVisibility,
+        Metric::StallOther,
+        Metric::InflightTxns,
+        Metric::WbufDirtyLines,
+        Metric::CacheOccupancyLines,
+    ];
+
+    /// Number of metrics (length of [`Metric::ALL`]).
+    pub const COUNT: usize = 14;
+
+    /// Dense index into [`Metric::ALL`].
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The stall counter mirroring `cause` (picoseconds stalled per window).
+    pub const fn stall(cause: StallCause) -> Metric {
+        match cause {
+            StallCause::PostedWindow => Metric::StallPostedWindow,
+            StallCause::WbufFlush => Metric::StallWbufFlush,
+            StallCause::TwoSafe => Metric::StallTwoSafe,
+            StallCause::RingFull => Metric::StallRingFull,
+            StallCause::DataVisibility => Metric::StallDataVisibility,
+            StallCause::Other => Metric::StallOther,
+        }
+    }
+
+    /// Whether this metric accumulates or snapshots.
+    pub const fn kind(self) -> MetricKind {
+        match self {
+            Metric::InflightTxns | Metric::WbufDirtyLines | Metric::CacheOccupancyLines => {
+                MetricKind::Gauge
+            }
+            _ => MetricKind::Counter,
+        }
+    }
+
+    /// A stable lower-snake-case name for trace and JSON output.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Metric::CommittedTxns => "committed_txns",
+            Metric::SanPackets => "san_packets",
+            Metric::SanModifiedBytes => "san_modified_bytes",
+            Metric::SanUndoBytes => "san_undo_bytes",
+            Metric::SanMetaBytes => "san_meta_bytes",
+            Metric::StallPostedWindow => "stall_posted_window_picos",
+            Metric::StallWbufFlush => "stall_wbuf_flush_picos",
+            Metric::StallTwoSafe => "stall_two_safe_picos",
+            Metric::StallRingFull => "stall_ring_full_picos",
+            Metric::StallDataVisibility => "stall_data_visibility_picos",
+            Metric::StallOther => "stall_other_picos",
+            Metric::InflightTxns => "inflight_txns",
+            Metric::WbufDirtyLines => "wbuf_dirty_lines",
+            Metric::CacheOccupancyLines => "cache_occupancy_lines",
+        }
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// The probe interface threaded through the pipeline as a type parameter.
 ///
 /// Every method has a no-op default body, so an implementation records only
@@ -138,6 +263,35 @@ pub trait Tracer: Clone + fmt::Debug {
     fn packet(&self, track: u32, at: VirtualInstant, class_bytes: [u64; 3]) {
         let _ = (track, at, class_bytes);
     }
+
+    /// Adds `delta` to the counter `metric` on `track` at instant `at`.
+    ///
+    /// Only meaningful for [`MetricKind::Counter`] metrics; the time-series
+    /// layer attributes the delta to the window containing `at`.
+    #[inline]
+    fn counter_add(&self, track: u32, metric: Metric, at: VirtualInstant, delta: u64) {
+        let _ = (track, metric, at, delta);
+    }
+
+    /// Sets the gauge `metric` on `track` to `value` at instant `at`.
+    ///
+    /// Only meaningful for [`MetricKind::Gauge`] metrics; each window
+    /// exports the last value set within it.
+    #[inline]
+    fn gauge_set(&self, track: u32, metric: Metric, at: VirtualInstant, value: u64) {
+        let _ = (track, metric, at, value);
+    }
+
+    /// Hints that virtual time has reached `at` on every track: a periodic
+    /// sampler (e.g. a [`Periodic`](dsnrep_simcore::Periodic) event on the
+    /// driver's [`Scheduler`](dsnrep_simcore::Scheduler)) calls this so the
+    /// recorder can materialize closed windows eagerly. Purely a
+    /// materialization hint — the exported time-series is bit-identical
+    /// whether or not it is ever called.
+    #[inline]
+    fn sample_to(&self, at: VirtualInstant) {
+        let _ = at;
+    }
 }
 
 /// The zero-cost default tracer: records nothing, compiles to nothing.
@@ -171,6 +325,29 @@ mod tests {
         );
         t.instant(0, TraceEventKind::PrimaryCrash, VirtualInstant::EPOCH, 0);
         t.packet(0, VirtualInstant::EPOCH, [1, 2, 3]);
+        t.counter_add(0, Metric::CommittedTxns, VirtualInstant::EPOCH, 1);
+        t.gauge_set(0, Metric::InflightTxns, VirtualInstant::EPOCH, 1);
+        t.sample_to(VirtualInstant::from_picos(100));
+    }
+
+    #[test]
+    fn metric_names_indices_and_kinds_are_stable() {
+        for (i, m) in Metric::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i);
+            for (j, n) in Metric::ALL.iter().enumerate() {
+                assert_eq!(i == j, m.name() == n.name());
+            }
+        }
+        assert_eq!(Metric::ALL.len(), Metric::COUNT);
+        assert_eq!(Metric::CommittedTxns.kind(), MetricKind::Counter);
+        assert_eq!(Metric::WbufDirtyLines.kind(), MetricKind::Gauge);
+        // Every stall cause has a distinct picosecond counter.
+        for cause in StallCause::ALL {
+            let m = Metric::stall(cause);
+            assert_eq!(m.kind(), MetricKind::Counter);
+            assert!(m.name().starts_with("stall_"), "{m}");
+            assert!(m.name().ends_with("_picos"), "{m}");
+        }
     }
 
     #[test]

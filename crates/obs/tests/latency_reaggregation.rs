@@ -1,0 +1,83 @@
+//! Property tests for the windowed latency histogram's re-aggregation
+//! contract: for **any** window width and any observation stream, summing
+//! the per-window log₂-histogram deltas reproduces the whole-run
+//! `commit_latency_log2` histogram exactly, and every percentile computed
+//! over the re-aggregation equals the percentile over the original. This
+//! is what makes p50/p95/p99-over-time trustworthy: the time axis slices
+//! the histogram, it never resamples it.
+
+use dsnrep_obs::{MetricsHub, TraceSummary};
+use dsnrep_simcore::VirtualInstant;
+use proptest::prelude::*;
+
+/// Wraps a raw 64-bucket histogram in a summary so the percentile code
+/// under test (`TraceSummary::commit_latency_percentile`) runs unchanged.
+fn summary_over(hist: Vec<u64>) -> TraceSummary {
+    TraceSummary {
+        txns: hist.iter().sum(),
+        commit_latency_log2: hist,
+        tracks: Vec::new(),
+        ring_capacity: 0,
+        spans_recorded: 0,
+        spans_dropped: 0,
+        events: 0,
+        events_dropped: 0,
+        stall_picos: Vec::new(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary window widths, arbitrary (track, time, bucket) streams —
+    /// including out-of-order times, which the hub clamps into the open
+    /// window rather than losing.
+    #[test]
+    fn window_deltas_reaggregate_to_the_whole_run_histogram(
+        window_picos in 1u64..5_000,
+        observations in proptest::collection::vec(
+            (0u32..3, 0u64..100_000, 0usize..64), 0..300),
+    ) {
+        let mut hub = MetricsHub::new(window_picos);
+        let mut whole = vec![0u64; 64];
+        for &(track, at, bucket) in &observations {
+            hub.observe_latency(track, VirtualInstant::from_picos(at), bucket);
+            whole[bucket] += 1;
+        }
+        let ts = hub.snapshot(&|t| format!("track{t}"));
+        prop_assert_eq!(&ts.latency_reaggregated(), &whole);
+
+        let original = summary_over(whole);
+        let reaggregated = summary_over(ts.latency_reaggregated());
+        for q in [0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(
+                original.commit_latency_percentile(q),
+                reaggregated.commit_latency_percentile(q),
+                "percentile q={} diverged after re-aggregation", q
+            );
+        }
+    }
+
+    /// Re-aggregation is insensitive to the window width itself: two hubs
+    /// fed the same stream under different widths agree on the whole-run
+    /// histogram (the boundaries only move counts between windows).
+    #[test]
+    fn histogram_is_invariant_across_window_widths(
+        width_a in 1u64..5_000,
+        width_b in 1u64..5_000,
+        observations in proptest::collection::vec(
+            (0u64..100_000, 0usize..64), 0..200),
+    ) {
+        let mut a = MetricsHub::new(width_a);
+        let mut b = MetricsHub::new(width_b);
+        for &(at, bucket) in &observations {
+            a.observe_latency(0, VirtualInstant::from_picos(at), bucket);
+            b.observe_latency(0, VirtualInstant::from_picos(at), bucket);
+        }
+        let name = |t: u32| format!("track{t}");
+        prop_assert_eq!(
+            a.snapshot(&name).latency_reaggregated(),
+            b.snapshot(&name).latency_reaggregated()
+        );
+    }
+}

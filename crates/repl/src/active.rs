@@ -49,8 +49,7 @@ impl<T: Tracer> BackupNode<T> {
         // The busy-wait loop cannot observe a record before it arrives:
         // that wait is data-visibility stall time on the backup.
         self.machine
-            .clock_mut()
-            .advance_to_for(StallCause::DataVisibility, visible_at);
+            .stall_until(StallCause::DataVisibility, visible_at);
         self.reader.poll(&mut self.machine)
     }
 
@@ -153,8 +152,7 @@ impl<T: Tracer> Engine<T> for ActivePrimaryEngine<T> {
             backup.deliver_up_to(consumer_at);
             drop(backup);
             // The primary is blocked on ring space, not on the SAN itself.
-            m.clock_mut()
-                .advance_to_for(StallCause::RingFull, consumer_at);
+            m.stall_until(StallCause::RingFull, consumer_at);
             if applied.txns == 0 {
                 stalls += 1;
                 assert!(
@@ -487,7 +485,7 @@ impl<T: Tracer + 'static> ActiveCluster<T> {
             mut machine,
             reader,
         } = backup;
-        machine.clock_mut().advance_to(crash_at);
+        machine.stall_until(StallCause::Other, crash_at);
         ActiveTakeover { machine, reader }
     }
 }
@@ -526,7 +524,7 @@ impl<T: Tracer + 'static> ActiveTakeover<T> {
         let ring = layout.expect_region(RegionId::RedoRing);
         let db = layout.expect_region(RegionId::Database);
         let mut machine = Machine::standalone_traced(costs, arena, tracer, TRACK_BACKUP);
-        machine.clock_mut().advance_to(at);
+        machine.stall_until(StallCause::Other, at);
         Ok(ActiveTakeover {
             machine,
             reader: RedoReader::new(ring, db),

@@ -22,7 +22,7 @@ use dsnrep_mcsim::{Link, Traffic, TxPort};
 use dsnrep_obs::{NullTracer, TraceEventKind, Tracer, TRACK_BACKUP, TRACK_PRIMARY};
 use dsnrep_rio::Arena;
 use dsnrep_simcore::CostModel;
-use dsnrep_simcore::{TrafficClass, VirtualDuration, VirtualInstant};
+use dsnrep_simcore::{StallCause, TrafficClass, VirtualDuration, VirtualInstant};
 use dsnrep_workloads::{ThroughputReport, TxCtx, Workload};
 
 /// The outcome of a backup takeover.
@@ -39,6 +39,23 @@ pub struct Failover<T: Tracer + 'static = NullTracer> {
     /// mirroring versions (the paper's "longer recovery time ...
     /// profitable tradeoff", §5.1).
     pub recovery_time: VirtualDuration,
+}
+
+impl<T: Tracer + 'static> Failover<T> {
+    /// Runs one transaction of `workload` on the promoted backup — the
+    /// "service resumes on the survivor" leg of an availability run.
+    /// Availability reports measure the gap between the recovery-start
+    /// event and the first commit this produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics on engine errors (sizing bugs).
+    pub fn run_txn(&mut self, workload: &mut dyn Workload<T>) {
+        let mut ctx = TxCtx::new(&mut self.machine, self.engine.as_mut());
+        workload
+            .run_txn(&mut ctx)
+            .expect("post-failover transaction failed");
+    }
 }
 
 /// A two-node cluster with a passive backup.
@@ -321,7 +338,7 @@ impl<T: Tracer + 'static> PassiveCluster<T> {
         // The backup was up the whole run receiving SAN packets; its
         // promoted timeline starts at the crash instant, which keeps the
         // merged flight-recorder trace causal across tracks.
-        backup_machine.clock_mut().advance_to(crashed_at);
+        backup_machine.stall_until(StallCause::Other, crashed_at);
         Takeover {
             version: self.version,
             costs: self.costs,
@@ -364,7 +381,7 @@ impl<T: Tracer + 'static> Takeover<T> {
         at: VirtualInstant,
     ) -> Self {
         let mut machine = Machine::standalone_traced(costs.clone(), arena, tracer, TRACK_BACKUP);
-        machine.clock_mut().advance_to(at);
+        machine.stall_until(StallCause::Other, at);
         Takeover {
             version,
             costs,

@@ -62,6 +62,11 @@ pub struct DirectMappedCache {
     line_shift: u32,
     index_mask: u64,
     total: CacheOutcome,
+    /// Number of lines holding a valid tag. A direct-mapped fill either
+    /// replaces a valid line (occupancy unchanged) or claims an invalid
+    /// one (occupancy +1), so a counter maintained on the miss path is
+    /// exact without ever rescanning the tag array.
+    occupied: u64,
 }
 
 const INVALID: u32 = u32::MAX;
@@ -89,6 +94,7 @@ impl DirectMappedCache {
             line_shift: line_size.trailing_zeros(),
             index_mask: lines - 1,
             total: CacheOutcome::default(),
+            occupied: 0,
         }
     }
 
@@ -141,6 +147,7 @@ impl DirectMappedCache {
             let out = if *tag == first as u32 {
                 CacheOutcome { hits: 1, misses: 0 }
             } else {
+                self.occupied += u64::from(*tag == INVALID);
                 *tag = first as u32;
                 CacheOutcome { hits: 0, misses: 1 }
             };
@@ -159,6 +166,7 @@ impl DirectMappedCache {
                     out.hits += 1;
                 } else {
                     out.misses += 1;
+                    self.occupied += u64::from(*tag == INVALID);
                     *tag = expect;
                 }
             }
@@ -175,11 +183,18 @@ impl DirectMappedCache {
         self.total
     }
 
+    /// Number of lines currently holding valid data, for occupancy gauges.
+    #[inline]
+    pub fn occupied_lines(&self) -> u64 {
+        self.occupied
+    }
+
     /// Invalidates every line (e.g. the cold cache after a reboot) and
     /// clears the cumulative statistics.
     pub fn flush(&mut self) {
         self.tags.fill(INVALID);
         self.total = CacheOutcome::default();
+        self.occupied = 0;
     }
 }
 
@@ -236,10 +251,28 @@ mod tests {
     fn flush_invalidates_and_resets_stats() {
         let mut c = DirectMappedCache::new(128, 64);
         c.touch(Addr::new(0), 64);
+        assert_eq!(c.occupied_lines(), 1);
         c.flush();
         assert_eq!(c.stats(), CacheOutcome::default());
+        assert_eq!(c.occupied_lines(), 0);
         let out = c.touch(Addr::new(0), 64);
         assert_eq!(out.misses, 1);
+    }
+
+    /// Occupancy counts valid lines: fills raise it, conflict evictions
+    /// and re-hits leave it unchanged, and it saturates at the line count.
+    #[test]
+    fn occupancy_tracks_valid_lines() {
+        let mut c = DirectMappedCache::new(256, 64); // four lines
+        assert_eq!(c.occupied_lines(), 0);
+        c.touch(Addr::new(0), 128); // fills two lines
+        assert_eq!(c.occupied_lines(), 2);
+        c.touch(Addr::new(0), 64); // hit: no change
+        assert_eq!(c.occupied_lines(), 2);
+        c.touch(Addr::new(256), 64); // conflict-evicts line 0: no change
+        assert_eq!(c.occupied_lines(), 2);
+        c.touch(Addr::new(0), 4096); // sweep far larger than the cache
+        assert_eq!(c.occupied_lines(), 4);
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub use cache::{CacheOutcome, DirectMappedCache};
 pub use clock::{BusyCause, Clock, StallCause};
 pub use costs::CostModel;
 pub use rng::SplitMix64;
-pub use sched::{Event, NodeId, Scheduler};
+pub use sched::{Event, NodeId, Periodic, Scheduler};
 pub use sink::{NullSink, StoreSink};
 pub use time::{VirtualDuration, VirtualInstant};
 

@@ -41,7 +41,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::rng::SplitMix64;
-use crate::time::VirtualInstant;
+use crate::time::{VirtualDuration, VirtualInstant};
 
 /// Identifies one simulated node (virtual processor) in a cell.
 ///
@@ -245,13 +245,102 @@ impl Scheduler {
     }
 }
 
+/// A fixed-cadence event series for periodic work (metric samplers,
+/// heartbeats) driven through a [`Scheduler`].
+///
+/// The series fires at `period, 2*period, 3*period, …` — deterministic
+/// boundaries derived only from the period, so two drivers sampling the
+/// same run agree on every window edge. A driver schedules an event at
+/// [`next_at`](Periodic::next_at), and on dispatch calls
+/// [`fire`](Periodic::fire) to obtain the deadline just served and arm the
+/// next one.
+///
+/// # Examples
+///
+/// ```
+/// use dsnrep_simcore::{Periodic, VirtualDuration, VirtualInstant};
+///
+/// let mut p = Periodic::new(VirtualDuration::from_picos(10));
+/// assert_eq!(p.next_at(), VirtualInstant::from_picos(10));
+/// assert_eq!(p.fire(), VirtualInstant::from_picos(10));
+/// assert_eq!(p.next_at(), VirtualInstant::from_picos(20));
+/// // Skip idle boundaries without firing them:
+/// p.catch_up_to(VirtualInstant::from_picos(55));
+/// assert_eq!(p.next_at(), VirtualInstant::from_picos(60));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Periodic {
+    period: VirtualDuration,
+    next: VirtualInstant,
+}
+
+impl Periodic {
+    /// Creates a series firing every `period`, first at `EPOCH + period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(period: VirtualDuration) -> Self {
+        assert!(period.as_picos() > 0, "periodic cadence must be nonzero");
+        Periodic {
+            period,
+            next: VirtualInstant::EPOCH + period,
+        }
+    }
+
+    /// The cadence between fires.
+    pub fn period(&self) -> VirtualDuration {
+        self.period
+    }
+
+    /// The next deadline to schedule.
+    pub fn next_at(&self) -> VirtualInstant {
+        self.next
+    }
+
+    /// Consumes the pending deadline and arms the following one; returns
+    /// the deadline just served.
+    pub fn fire(&mut self) -> VirtualInstant {
+        let due = self.next;
+        self.next = due + self.period;
+        due
+    }
+
+    /// Advances the series past `at` without firing: the next deadline
+    /// becomes the first boundary strictly after `at`. Used when a driver
+    /// jumps over an idle stretch (no events between boundaries) and wants
+    /// to resume the cadence rather than replay every missed edge.
+    pub fn catch_up_to(&mut self, at: VirtualInstant) {
+        while self.next <= at {
+            self.next += self.period;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::time::VirtualDuration;
 
     fn t(picos: u64) -> VirtualInstant {
         VirtualInstant::from_picos(picos)
+    }
+
+    #[test]
+    fn periodic_fires_on_multiples_and_catches_up() {
+        let mut p = Periodic::new(VirtualDuration::from_picos(100));
+        assert_eq!(p.period().as_picos(), 100);
+        assert_eq!(p.fire(), t(100));
+        assert_eq!(p.fire(), t(200));
+        p.catch_up_to(t(200)); // already past: no-op on a strict boundary
+        assert_eq!(p.next_at(), t(300));
+        p.catch_up_to(t(1234));
+        assert_eq!(p.next_at(), t(1300));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn periodic_rejects_zero_period() {
+        let _ = Periodic::new(VirtualDuration::from_picos(0));
     }
 
     #[test]

@@ -319,6 +319,12 @@ fn main() {
                  elapsed time — checked):\n\n```\n{}```\n",
                 run.attribution.render_text()
             );
+            println!(
+                "Per-transaction critical path (segments provably sum to\n\
+                 each commit latency; in-txn + outside totals equal each\n\
+                 node's elapsed time — checked):\n\n```json\n{}```\n",
+                run.critpath.to_json()
+            );
         }
 
         // A failover scenario, for the availability view: the goodput

@@ -20,6 +20,12 @@
 //! * `availability.json` — the goodput-over-time availability report:
 //!   SLO-violation windows and, for `--crash` runs, the virtual time from
 //!   `recovery_start` to the first post-recovery commit.
+//! * `critical_path.json` — the per-transaction critical-path profile:
+//!   every committed transaction's latency decomposed into disjoint
+//!   segments (cpu / cache / SAN issue / queue wait / transit / backup
+//!   apply / other stalls) that provably sum to the commit latency, with
+//!   per-segment whole-run totals, percentiles, and the top-k slowest
+//!   transactions.
 //!
 //! With `--crash`, `--post-txns N` (default `txns / 10`) transactions run
 //! on the promoted backup after recovery, so the availability report has
@@ -158,9 +164,12 @@ fn main() -> ExitCode {
             .expect("write timeseries.json");
         std::fs::write(dir.join("availability.json"), run.availability.to_json())
             .expect("write availability.json");
+        std::fs::write(dir.join("critical_path.json"), run.critpath.to_json())
+            .expect("write critical_path.json");
         eprintln!(
             "wrote {}/trace.json (load in https://ui.perfetto.dev), events.jsonl, \
-             summary.json, attribution.json, timeseries.json, availability.json",
+             summary.json, attribution.json, timeseries.json, availability.json, \
+             critical_path.json",
             dir.display()
         );
     }

@@ -9,8 +9,8 @@
 
 use dsnrep_core::{audit, AuditViolation, EngineConfig, MachineStats, VersionTag};
 use dsnrep_obs::{
-    AttributionTree, ClockAttribution, FlightRecorder, Metric, Phase, TimeSeries, TraceEventKind,
-    TraceSummary, Tracer, TRACK_BACKUP, TRACK_PRIMARY,
+    AttributionTree, ClockAttribution, CriticalPathReport, FlightRecorder, Metric, Phase,
+    TimeSeries, TraceEventKind, TraceSummary, Tracer, TRACK_BACKUP, TRACK_PRIMARY,
 };
 use dsnrep_repl::{ActiveCluster, PassiveCluster};
 use dsnrep_simcore::{NodeId, Periodic, Scheduler, StallCause, VirtualDuration, VirtualInstant};
@@ -67,6 +67,10 @@ pub struct TracedRun {
     /// Windowed metrics time-series, conservation-checked against both the
     /// summary aggregates and the attribution tree's stall leaves.
     pub timeseries: TimeSeries,
+    /// Per-transaction critical-path profile, conservation-checked against
+    /// the attribution tree's leaves (per-txn segments sum to the commit
+    /// latency; whole-run in-txn + outside totals equal elapsed).
+    pub critpath: CriticalPathReport,
     /// Goodput-over-time availability view derived from the time-series.
     pub availability: AvailabilityReport,
     /// Primary throughput over the failure-free portion, TPS.
@@ -352,7 +356,29 @@ pub fn traced_run_with(
     crash: bool,
     post_txns: u64,
 ) -> TracedRun {
-    let recorder = FlightRecorder::from_env();
+    traced_run_on(
+        FlightRecorder::from_env(),
+        scheme,
+        kind,
+        txns,
+        db_len,
+        crash,
+        post_txns,
+    )
+}
+
+/// As [`traced_run_with`], on a caller-supplied recorder. Tests use this to
+/// toggle recorder knobs (e.g. the causal stores) directly, without racing
+/// on process-global environment variables.
+pub fn traced_run_on(
+    recorder: FlightRecorder,
+    scheme: TracedScheme,
+    kind: WorkloadKind,
+    txns: u64,
+    db_len: u64,
+    crash: bool,
+    post_txns: u64,
+) -> TracedRun {
     recorder.set_track_name(TRACK_PRIMARY, "primary");
     recorder.set_track_name(TRACK_BACKUP, "backup");
     let config = EngineConfig::for_db(db_len);
@@ -485,11 +511,17 @@ pub fn traced_run_with(
         panic!("time-series vs attribution conservation violated: {e}");
     }
     let availability = AvailabilityReport::build(&recorder, &timeseries);
+    // The critical-path profile carries its own conservation proof: per-txn
+    // segments summed at fold time, whole-run totals re-checked here
+    // against the attribution tree's independently-computed leaves.
+    let critpath = CriticalPathReport::build(&recorder, &attribution)
+        .unwrap_or_else(|e| panic!("critical-path conservation violated: {e}"));
     TracedRun {
         recorder,
         summary,
         attribution,
         timeseries,
+        critpath,
         availability,
         tps,
         violation,

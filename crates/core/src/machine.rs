@@ -18,7 +18,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use dsnrep_mcsim::TxPort;
-use dsnrep_obs::{Metric, NullTracer, Phase, TraceEventKind, Tracer};
+use dsnrep_obs::{Metric, NullTracer, Phase, TraceEventKind, Tracer, NO_TXN};
 use dsnrep_rio::{AllocMem, Arena};
 use dsnrep_simcore::{
     Addr, BusyCause, CacheOutcome, Clock, CostModel, DirectMappedCache, Region, StallCause,
@@ -188,9 +188,28 @@ pub struct Machine<T: Tracer = NullTracer> {
     per_op_stores: bool,
     tracer: T,
     track: u32,
-    /// Start of the transaction currently being traced (set by
+    /// The transaction currently being traced (set by
     /// [`Machine::trace_tx_begin`], consumed by [`Machine::trace_tx_end`]).
-    tx_start: Option<VirtualInstant>,
+    tx_open: Option<OpenTxn>,
+    /// Monotone transaction counter; combined with the track it forms the
+    /// stable txn id that tags SAN packets for causal flow stitching.
+    txn_seq: u64,
+}
+
+/// Everything captured at `trace_tx_begin` that `trace_tx_end` needs to
+/// close the span and decompose the commit latency into a critical path.
+struct OpenTxn {
+    start: VirtualInstant,
+    id: u64,
+    busy0: [VirtualDuration; BusyCause::COUNT],
+    stall0: [VirtualDuration; StallCause::COUNT],
+}
+
+/// A stable transaction id: the trace track in the high bits, the per-node
+/// sequence number in the low 40 (same packing as SAN packet ids, but the
+/// two id spaces never meet).
+const fn txn_id(track: u32, seq: u64) -> u64 {
+    ((track as u64) << 40) | (seq & ((1 << 40) - 1))
 }
 
 impl<T: Tracer> fmt::Debug for Machine<T> {
@@ -241,7 +260,8 @@ impl<T: Tracer> Machine<T> {
             per_op_stores: std::env::var_os("DSNREP_STORE_PATH").is_some_and(|v| v == "per-op"),
             tracer,
             track,
-            tx_start: None,
+            tx_open: None,
+            txn_seq: 0,
         }
     }
 
@@ -290,23 +310,57 @@ impl<T: Tracer> Machine<T> {
 
     /// Marks the start of a transaction span (engines call this in
     /// `begin`). A no-op when tracing is disabled.
+    ///
+    /// Assigns the transaction a stable id, tags every SAN packet issued
+    /// until [`Machine::trace_tx_end`] with it, and snapshots the clock's
+    /// busy/stall breakdowns so the end hook can decompose the commit
+    /// latency into a critical path by pure subtraction.
     #[inline]
     pub fn trace_tx_begin(&mut self) {
         if self.tracer.is_enabled() {
             let now = self.clock.now();
-            self.tx_start = Some(now);
+            let id = txn_id(self.track, self.txn_seq);
+            self.txn_seq += 1;
+            self.tx_open = Some(OpenTxn {
+                start: now,
+                id,
+                busy0: self.clock.busy_breakdown(),
+                stall0: self.clock.stall_breakdown(),
+            });
+            if let Some(port) = self.port.as_mut() {
+                port.set_current_txn(id);
+            }
             self.tracer
                 .gauge_set(self.track, Metric::InflightTxns, now, 1);
         }
     }
 
     /// Closes the open transaction span, if any (engines call this at the
-    /// end of `commit` and `abort`).
+    /// end of `commit` and `abort`), and reports the transaction's
+    /// critical path: the clock-delta decomposition of the commit latency
+    /// over every busy and stall cause. Because the clock self-attributes
+    /// each picosecond to exactly one cause, the reported segments sum to
+    /// the latency by construction.
     #[inline]
     pub fn trace_tx_end(&mut self) {
-        if let Some(start) = self.tx_start.take() {
+        if let Some(open) = self.tx_open.take() {
             let now = self.clock.now();
-            self.tracer.span(self.track, Phase::Txn, start, now);
+            self.tracer.span(self.track, Phase::Txn, open.start, now);
+            let busy1 = self.clock.busy_breakdown();
+            let stall1 = self.clock.stall_breakdown();
+            let mut busy = [0u64; BusyCause::COUNT];
+            for (slot, (b1, b0)) in busy.iter_mut().zip(busy1.iter().zip(open.busy0.iter())) {
+                *slot = b1.as_picos() - b0.as_picos();
+            }
+            let mut stall = [0u64; StallCause::COUNT];
+            for (slot, (s1, s0)) in stall.iter_mut().zip(stall1.iter().zip(open.stall0.iter())) {
+                *slot = s1.as_picos() - s0.as_picos();
+            }
+            self.tracer
+                .txn_path(self.track, open.id, open.start, now, busy, stall);
+            if let Some(port) = self.port.as_mut() {
+                port.set_current_txn(NO_TXN);
+            }
             self.tracer
                 .gauge_set(self.track, Metric::InflightTxns, now, 0);
         }

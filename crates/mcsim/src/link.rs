@@ -18,13 +18,30 @@ use crate::traffic::Traffic;
 /// The service timing of one packet.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PacketTiming {
-    /// When the link started serving the packet (>= the submit time).
+    /// When the packet was submitted to the link (the issue instant).
+    pub ready: VirtualInstant,
+    /// When the link started serving the packet (>= `ready`; the gap is
+    /// this packet's share of the FIFO queue wait).
     pub start: VirtualInstant,
     /// When the link finished serializing the packet (sender-side resource
     /// release: the posted-write window frees at this instant).
     pub done: VirtualInstant,
     /// When the payload is visible in the remote node's memory.
     pub delivered: VirtualInstant,
+}
+
+impl PacketTiming {
+    /// This packet's FIFO wait behind earlier packets on the link — the
+    /// per-packet slice of [`Link::queue_wait`].
+    pub fn queue_wait(&self) -> VirtualDuration {
+        self.start.duration_since(self.ready)
+    }
+
+    /// Sender-side link occupancy for this packet: overhead plus wire
+    /// serialization time.
+    pub fn service(&self) -> VirtualDuration {
+        self.done.duration_since(self.start)
+    }
 }
 
 /// A FIFO link with affine per-packet service time and fixed delivery
@@ -96,6 +113,7 @@ impl Link {
         self.busy_until = done;
         self.traffic.record_mixed_packet(class_bytes);
         PacketTiming {
+            ready,
             start,
             done,
             delivered: done + self.latency,
@@ -192,9 +210,15 @@ mod tests {
         let a = l.send(VirtualInstant::EPOCH, 32, TrafficClass::Modified);
         assert!(l.queue_wait().is_zero(), "idle link serves immediately");
         let b = l.send(VirtualInstant::EPOCH, 4, TrafficClass::Meta);
-        // The second packet waited for the first to finish serializing.
+        // The second packet waited for the first to finish serializing,
+        // and the per-packet timing exposes exactly that slice.
         assert_eq!(l.queue_wait(), a.done.duration_since(VirtualInstant::EPOCH));
         assert_eq!(b.start, a.done);
+        assert!(a.queue_wait().is_zero());
+        assert_eq!(b.queue_wait(), l.queue_wait());
+        assert_eq!(a.queue_wait() + b.queue_wait(), l.queue_wait());
+        assert_eq!(b.service(), b.done.duration_since(b.start));
+        assert_eq!(b.ready, VirtualInstant::EPOCH);
     }
 
     #[test]

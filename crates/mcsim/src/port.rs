@@ -16,7 +16,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::rc::Rc;
 
-use dsnrep_obs::{Metric, NullTracer, Tracer};
+use dsnrep_obs::{Metric, NullTracer, PacketLife, Tracer, NO_TXN, TRACK_BACKUP};
 use dsnrep_rio::Arena;
 use dsnrep_simcore::{
     Addr, BusyCause, Clock, CostModel, StallCause, StoreSink, TrafficClass, VirtualDuration,
@@ -32,6 +32,17 @@ struct Delivery {
     base: Addr,
     mask: u32,
     data: [u8; BLOCK as usize],
+    /// Stable packet id assigned at issue time (see [`packet_id`]).
+    id: u64,
+    /// The transaction whose store issued the packet, or [`NO_TXN`].
+    txn: u64,
+}
+
+/// Packs a stable per-run packet id from the sending track and the port's
+/// monotone emission sequence. Txn ids use the same packing (in `Machine`)
+/// but live in a separate id space — flow ids are packet ids only.
+const fn packet_id(track: u32, seq: u64) -> u64 {
+    ((track as u64) << 40) | (seq & ((1 << 40) - 1))
 }
 
 /// The packet-emission half of a [`TxPort`]: link access, posted-write
@@ -58,6 +69,12 @@ struct Emitter<T: Tracer> {
     /// Armed fault: remaining packets before a simulated halt. At zero the
     /// next emission panics *before* the packet reaches the link.
     packet_budget: Option<u64>,
+    /// The transaction tag stamped onto packets issued right now
+    /// ([`NO_TXN`] outside any transaction).
+    current_txn: u64,
+    /// The track whose arena receives this port's packets (apply records
+    /// land there).
+    peer_track: u32,
 }
 
 impl<T: Tracer> Emitter<T> {
@@ -79,6 +96,7 @@ impl<T: Tracer> Emitter<T> {
             }
             Some(budget) => *budget -= 1,
         }
+        let id = packet_id(self.track, self.emitted);
         self.emitted += 1;
         // Release completed packets.
         while let Some(&(done, bytes)) = self.outstanding.front() {
@@ -123,7 +141,41 @@ impl<T: Tracer> Emitter<T> {
             base: flushed.base,
             mask: flushed.mask,
             data: flushed.data,
+            id,
+            txn: self.current_txn,
         });
+        if self.tracer.is_enabled() {
+            self.tracer.packet_life(
+                self.track,
+                PacketLife {
+                    id,
+                    txn: self.current_txn,
+                    ready: timing.ready,
+                    start: timing.start,
+                    done: timing.done,
+                    delivered: timing.delivered,
+                    class_bytes: flushed.class_bytes,
+                },
+            );
+            self.tracer.counter_add(
+                self.track,
+                Metric::LinkQueueWaitPicos,
+                timing.start,
+                timing.queue_wait().as_picos(),
+            );
+            self.tracer.counter_add(
+                self.track,
+                Metric::LinkBusyPicos,
+                timing.start,
+                timing.service().as_picos(),
+            );
+            self.tracer.gauge_set(
+                self.track,
+                Metric::LinkQueueDepth,
+                timing.start,
+                self.inflight.len() as u64,
+            );
+        }
         self.last_delivered = timing.delivered;
     }
 }
@@ -238,6 +290,8 @@ impl<T: Tracer> TxPort<T> {
                 stall_cause: StallCause::PostedWindow,
                 emitted: 0,
                 packet_budget: None,
+                current_txn: NO_TXN,
+                peer_track: TRACK_BACKUP,
             },
         }
     }
@@ -353,6 +407,8 @@ impl<T: Tracer> TxPort<T> {
         if self.tx.inflight.front().is_none_or(|d| d.at > t) {
             return;
         }
+        let traced = self.tx.tracer.is_enabled();
+        let mut last_applied_at = None;
         // Something is due. Borrow the peer arena once for the whole drain
         // instead of once per packet: a peer is never the sending node's
         // own arena, so the borrow cannot alias anything the drain touches.
@@ -362,19 +418,42 @@ impl<T: Tracer> TxPort<T> {
                 if front.at <= t {
                     let d = self.tx.inflight.pop_front().expect("front() checked");
                     Self::apply_one(&mut arena, &d);
+                    if traced {
+                        self.tx
+                            .tracer
+                            .packet_applied(self.tx.peer_track, d.id, d.txn, d.at);
+                        last_applied_at = Some(d.at);
+                    }
                 } else {
                     break;
                 }
             }
-            return;
-        }
-        while let Some(front) = self.tx.inflight.front() {
-            if front.at <= t {
-                let d = self.tx.inflight.pop_front().expect("front() checked");
-                Self::apply(&self.peers, &d);
-            } else {
-                break;
+        } else {
+            while let Some(front) = self.tx.inflight.front() {
+                if front.at <= t {
+                    let d = self.tx.inflight.pop_front().expect("front() checked");
+                    Self::apply(&self.peers, &d);
+                    if traced {
+                        self.tx
+                            .tracer
+                            .packet_applied(self.tx.peer_track, d.id, d.txn, d.at);
+                        last_applied_at = Some(d.at);
+                    }
+                } else {
+                    break;
+                }
             }
+        }
+        // The sender's in-flight queue drained down to its new depth at
+        // the last delivery instant (never at `t`, which may be a
+        // quiesce-time sentinel no metrics window should materialize to).
+        if let Some(at) = last_applied_at {
+            self.tx.tracer.gauge_set(
+                self.tx.track,
+                Metric::LinkQueueDepth,
+                at,
+                self.tx.inflight.len() as u64,
+            );
         }
     }
 
@@ -390,6 +469,12 @@ impl<T: Tracer> TxPort<T> {
     /// write buffers that never reached the PCI bus — is lost.
     pub fn crash_cut(&mut self, at: VirtualInstant) {
         self.deliver_up_to(at);
+        if self.tx.tracer.is_enabled() && !self.tx.inflight.is_empty() {
+            // The undelivered tail vanishes with the crashed sender.
+            self.tx
+                .tracer
+                .gauge_set(self.tx.track, Metric::LinkQueueDepth, at, 0);
+        }
         self.tx.inflight.clear();
         self.bufs.discard_all();
         self.tx.outstanding.clear();
@@ -409,6 +494,22 @@ impl<T: Tracer> TxPort<T> {
     /// SAN packets this port has emitted so far (monotone).
     pub fn packets_emitted(&self) -> u64 {
         self.tx.emitted
+    }
+
+    /// Tags packets issued from now on with the originating transaction id
+    /// (pass [`NO_TXN`] at transaction end), so causal tracing can stitch
+    /// a commit's flow from its primary-side span through the SAN to the
+    /// backup-side apply.
+    pub fn set_current_txn(&mut self, txn: u64) {
+        self.tx.current_txn = txn;
+    }
+
+    /// Names the track whose arena receives this port's packets; apply
+    /// records are attributed there. Defaults to
+    /// [`TRACK_BACKUP`]; the active scheme's reverse (cursor write-back)
+    /// port points it at the primary.
+    pub fn set_peer_track(&mut self, track: u32) {
+        self.tx.peer_track = track;
     }
 
     /// Arms a fault: the node halts (panics) when it tries to emit the
@@ -666,6 +767,55 @@ mod tests {
     }
 
     #[test]
+    fn traced_port_records_packet_lives_and_mirrors_queue_wait() {
+        let costs = CostModel::alpha_21164a();
+        let link = Rc::new(RefCell::new(Link::new(&costs)));
+        let peer = Rc::new(RefCell::new(Arena::new(1 << 20)));
+        let rec = dsnrep_obs::FlightRecorder::new();
+        let mut port = TxPort::new_traced(&costs, Rc::clone(&link), peer, rec.clone(), 0);
+        let mut clock = Clock::new();
+        port.set_current_txn(0x7001);
+        for i in 0..64u64 {
+            port.store(
+                &mut clock,
+                Addr::new(i * 64),
+                &[3; 32],
+                TrafficClass::Modified,
+            );
+        }
+        port.set_current_txn(NO_TXN);
+        port.store(&mut clock, Addr::new(64 * 64), &[4; 4], TrafficClass::Meta);
+        port.barrier(&mut clock);
+        port.quiesce(&mut clock);
+
+        let lives = rec.packet_lives();
+        assert_eq!(lives.len() as u64, link.borrow().traffic().total_packets());
+        // Ids are the dense emission sequence, packed with the track.
+        for (i, (track, life)) in lives.iter().enumerate() {
+            assert_eq!(*track, 0);
+            assert_eq!(life.id, packet_id(0, i as u64));
+        }
+        assert_eq!(lives[0].1.txn, 0x7001);
+        assert_eq!(lives.last().unwrap().1.txn, NO_TXN);
+        // The per-packet queue waits sum to the link's cumulative wait, and
+        // the mirrored counter agrees with both.
+        let per_packet: u64 = lives.iter().map(|(_, l)| l.queue_wait().as_picos()).sum();
+        assert_eq!(per_packet, link.borrow().queue_wait().as_picos());
+        let ts = rec.timeseries();
+        assert_eq!(ts.counter_total(Metric::LinkQueueWaitPicos), per_packet);
+        assert!(ts.counter_total(Metric::LinkBusyPicos) > 0);
+        // Every packet was applied on the peer track, in delivery order.
+        let applies = rec.applies();
+        assert_eq!(applies.len(), lives.len());
+        for (apply, (_, life)) in applies.iter().zip(lives.iter()) {
+            assert_eq!(apply.track, TRACK_BACKUP);
+            assert_eq!(apply.id, life.id);
+            assert_eq!(apply.txn, life.txn);
+            assert_eq!(apply.at, life.delivered);
+        }
+    }
+
+    #[test]
     fn packet_budget_halts_before_the_packet_reaches_the_link() {
         let (_, link, peer, mut port, mut clock) = setup();
         port.store(&mut clock, Addr::new(0), &[1; 32], TrafficClass::Modified);
@@ -723,6 +873,8 @@ mod tests {
                     base: Addr::new(base_block * BLOCK),
                     mask,
                     data,
+                    id: 0,
+                    txn: NO_TXN,
                 };
 
                 let mut fast = Arena::new(256);

@@ -19,9 +19,17 @@
 
 use std::fmt::Write as _;
 
+use std::collections::BTreeMap;
+
 use crate::json_escape;
 use crate::recorder::FlightRecorder;
-use crate::tracer::Metric;
+use crate::tracer::{Metric, Phase, NO_TXN};
+
+/// Synthetic Perfetto "thread" id offset for per-sender SAN link tracks:
+/// packet lifecycle spans for sender `track` render on
+/// `SAN_TID_BASE + track`, visually between the node tracks (small tids)
+/// and clearly not a simulated node.
+const SAN_TID_BASE: u64 = 1000;
 
 /// Virtual picoseconds to Chrome's microsecond `ts` unit, with sub-µs
 /// precision kept as a fraction (Perfetto accepts fractional ts).
@@ -89,6 +97,128 @@ impl FlightRecorder {
                 );
             }
         });
+        // Causal layer: per-packet lifecycle spans on synthetic SAN link
+        // tracks, zero-duration apply spans on the receiving track, and
+        // `s`/`t`/`f` flow events stitching each transaction's span to the
+        // packets that carried its traffic and to their backup-side
+        // applies. Flows are emitted only when both anchors exist in the
+        // ring (the enclosing `txn` span and the apply record), so every
+        // flow start has exactly one finish even under ring pressure or a
+        // crash that voids in-flight packets.
+        let lives = self.packet_lives();
+        if !lives.is_empty() {
+            let mut san_tracks: Vec<u32> = lives.iter().map(|(t, _)| *t).collect();
+            san_tracks.sort_unstable();
+            san_tracks.dedup();
+            for track in san_tracks {
+                let name = json_escape(&format!("san:{}", self.track_name(track)));
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"M\",\"pid\":0,\"tid\":{},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":\"{name}\"}}}}",
+                    SAN_TID_BASE + track as u64
+                );
+            }
+            let applied_by_id: BTreeMap<u64, crate::recorder::ApplyRecord> =
+                self.applies().into_iter().map(|a| (a.id, a)).collect();
+            // Txn spans per track (sorted) so a flow start is only emitted
+            // when its enclosing span actually survived in the ring.
+            let mut txn_spans: BTreeMap<u32, Vec<(u64, u64)>> = BTreeMap::new();
+            self.with_inner_records(|spans, _| {
+                for s in spans {
+                    if s.phase == Phase::Txn {
+                        txn_spans
+                            .entry(s.track)
+                            .or_default()
+                            .push((s.start.as_picos(), s.end.as_picos()));
+                    }
+                }
+            });
+            for v in txn_spans.values_mut() {
+                v.sort_unstable();
+            }
+            let enclosed_in_txn = |track: u32, at: u64| -> bool {
+                txn_spans.get(&track).is_some_and(|v| {
+                    let i = v.partition_point(|&(start, _)| start <= at);
+                    i > 0 && v[i - 1].1 >= at
+                })
+            };
+            for (track, life) in &lives {
+                let san_tid = SAN_TID_BASE + *track as u64;
+                if life.start > life.ready {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"X\",\"pid\":0,\"tid\":{san_tid},\"cat\":\"san\",\
+                         \"name\":\"queue\",\"ts\":{},\"dur\":{},\
+                         \"args\":{{\"id\":{}}}}}",
+                        picos_to_us(life.ready.as_picos()),
+                        picos_to_us(life.queue_wait().as_picos()),
+                        life.id
+                    );
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"X\",\"pid\":0,\"tid\":{san_tid},\"cat\":\"san\",\
+                     \"name\":\"pkt\",\"ts\":{},\"dur\":{},\
+                     \"args\":{{\"id\":{},\"bytes\":{}}}}}",
+                    picos_to_us(life.start.as_picos()),
+                    picos_to_us(life.transit().as_picos()),
+                    life.id,
+                    life.bytes()
+                );
+                let Some(apply) = applied_by_id.get(&life.id) else {
+                    continue; // crash-lost: no apply span, no flow
+                };
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let apply_ts = picos_to_us(apply.at.as_picos());
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"cat\":\"san\",\
+                     \"name\":\"apply\",\"ts\":{apply_ts},\"dur\":0,\
+                     \"args\":{{\"id\":{}}}}}",
+                    apply.track, life.id
+                );
+                if life.txn == NO_TXN || !enclosed_in_txn(*track, life.ready.as_picos()) {
+                    continue;
+                }
+                let _ = write!(
+                    out,
+                    ",{{\"ph\":\"s\",\"pid\":0,\"tid\":{},\"cat\":\"flow\",\
+                     \"name\":\"txn\",\"id\":{},\"ts\":{}}}",
+                    track,
+                    life.id,
+                    picos_to_us(life.ready.as_picos())
+                );
+                let _ = write!(
+                    out,
+                    ",{{\"ph\":\"t\",\"pid\":0,\"tid\":{san_tid},\"cat\":\"flow\",\
+                     \"name\":\"txn\",\"id\":{},\"ts\":{}}}",
+                    life.id,
+                    picos_to_us(life.start.as_picos())
+                );
+                let _ = write!(
+                    out,
+                    ",{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,\"tid\":{},\"cat\":\"flow\",\
+                     \"name\":\"txn\",\"id\":{},\"ts\":{apply_ts}}}",
+                    apply.track, life.id
+                );
+            }
+        }
         let mut counter = |track: u32, name: &str, at_picos: u64, value: u64| {
             if !first {
                 out.push(',');
@@ -234,6 +364,91 @@ mod tests {
         for line in lines {
             assert!(line.starts_with('{') && line.ends_with('}'));
         }
+    }
+
+    #[test]
+    fn causal_layer_renders_san_spans_applies_and_flows() {
+        use crate::tracer::{PacketLife, NO_TXN};
+        let rec = FlightRecorder::new();
+        rec.set_track_name(0, "primary");
+        rec.set_track_name(1, "backup");
+        rec.span(0, Phase::Txn, at(0), at(10_000_000));
+        let life = PacketLife {
+            id: 42,
+            txn: 7,
+            ready: at(1_000_000),
+            start: at(2_000_000),
+            done: at(3_000_000),
+            delivered: at(4_000_000),
+            class_bytes: [64, 0, 0],
+        };
+        rec.packet_life(0, life);
+        rec.packet_applied(1, 42, 7, at(4_000_000));
+        // An untagged (outside-txn) packet: lifecycle only, no flow.
+        rec.packet_life(
+            0,
+            PacketLife {
+                id: 43,
+                txn: NO_TXN,
+                ready: at(5_000_000),
+                start: at(5_000_000),
+                done: at(5_500_000),
+                delivered: at(6_000_000),
+                class_bytes: [0, 0, 16],
+            },
+        );
+        rec.packet_applied(1, 43, NO_TXN, at(6_000_000));
+        // A crash-lost packet: no apply record, so no apply span, no flow.
+        rec.packet_life(
+            0,
+            PacketLife {
+                id: 44,
+                txn: 7,
+                ready: at(7_000_000),
+                start: at(7_000_000),
+                done: at(7_500_000),
+                delivered: at(8_000_000),
+                class_bytes: [32, 0, 0],
+            },
+        );
+        let json = rec.chrome_trace_json();
+        assert!(json.contains("\"name\":\"san:primary\""));
+        assert!(json.contains("\"name\":\"queue\"")); // id 42 waited 1 us
+        assert_eq!(json.matches("\"name\":\"pkt\"").count(), 3);
+        assert_eq!(json.matches("\"name\":\"apply\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"s\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"t\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"f\"").count(), 1);
+        assert!(json.contains(
+            "\"ph\":\"s\",\"pid\":0,\"tid\":0,\"cat\":\"flow\",\"name\":\"txn\",\"id\":42,\"ts\":1"
+        ));
+        assert!(json.contains("\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,\"tid\":1,"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn flows_are_suppressed_when_the_enclosing_txn_span_is_missing() {
+        use crate::tracer::PacketLife;
+        let rec = FlightRecorder::new();
+        // Tagged packet and apply, but no Txn span recorded at all.
+        rec.packet_life(
+            0,
+            PacketLife {
+                id: 1,
+                txn: 5,
+                ready: at(1_000),
+                start: at(1_000),
+                done: at(2_000),
+                delivered: at(3_000),
+                class_bytes: [8, 0, 0],
+            },
+        );
+        rec.packet_applied(1, 1, 5, at(3_000));
+        let json = rec.chrome_trace_json();
+        assert_eq!(json.matches("\"ph\":\"s\"").count(), 0);
+        assert_eq!(json.matches("\"ph\":\"f\"").count(), 0);
+        assert_eq!(json.matches("\"name\":\"apply\"").count(), 1);
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Warn-once parsing of the trace layer's environment knobs.
+//!
+//! Every knob follows the same contract: **unset means the default**; a set
+//! value must parse, and a set-but-unusable value is a misconfiguration,
+//! not a request for the default — it falls back *and* warns once on
+//! stderr, keyed by variable name, no matter how many recorders or tools
+//! consult it. The parsers are pure (input in, `(value, warning)` out) so
+//! the fallback rules are unit-testable without touching the process
+//! environment.
+
+use std::collections::BTreeSet;
+use std::sync::{Mutex, OnceLock};
+
+use crate::recorder::FlightRecorder;
+use crate::timeseries::DEFAULT_WINDOW_PICOS;
+
+/// Interprets `DSNREP_TRACE_CAP` (flight-recorder ring capacity, records):
+/// `None` (unset) means the default capacity; a set value must parse as a
+/// positive record count, and anything else yields the default **plus a
+/// warning message** — a set variable the recorder cannot honor should
+/// never be silent.
+pub fn parse_trace_cap(raw: Option<&str>) -> (usize, Option<String>) {
+    match raw {
+        None => (FlightRecorder::DEFAULT_CAPACITY, None),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(cap) if cap > 0 => (cap, None),
+            _ => (
+                FlightRecorder::DEFAULT_CAPACITY,
+                Some(format!(
+                    "DSNREP_TRACE_CAP={v:?} is not a positive record count; \
+                     using the default of {} records",
+                    FlightRecorder::DEFAULT_CAPACITY
+                )),
+            ),
+        },
+    }
+}
+
+/// Interprets `DSNREP_TS_WINDOW_US` (virtual microseconds per metrics
+/// window) with the same contract as [`parse_trace_cap`]: unset means the
+/// default, unusable (zero, non-numeric, or too large to convert to
+/// picoseconds) means the default plus a warning.
+pub fn parse_window_us(raw: Option<&str>) -> (u64, Option<String>) {
+    match raw {
+        None => (DEFAULT_WINDOW_PICOS, None),
+        Some(v) => match v.trim().parse::<u64>() {
+            Ok(us) if us > 0 && us <= u64::MAX / 1_000_000 => (us * 1_000_000, None),
+            _ => (
+                DEFAULT_WINDOW_PICOS,
+                Some(format!(
+                    "DSNREP_TS_WINDOW_US={v:?} is not a usable window width; \
+                     using the default of {} virtual us",
+                    DEFAULT_WINDOW_PICOS / 1_000_000
+                )),
+            ),
+        },
+    }
+}
+
+/// Interprets `DSNREP_TRACE_FLOWS` (causal recording: packet lifecycles,
+/// apply events, per-transaction critical paths): unset means enabled;
+/// `0`/`false`/`off` disable, `1`/`true`/`on` enable, anything else falls
+/// back to enabled with a warning.
+pub fn parse_flows_flag(raw: Option<&str>) -> (bool, Option<String>) {
+    match raw.map(|v| v.trim().to_ascii_lowercase()).as_deref() {
+        None => (true, None),
+        Some("0" | "false" | "off") => (false, None),
+        Some("1" | "true" | "on") => (true, None),
+        Some(_) => (
+            true,
+            Some(format!(
+                "DSNREP_TRACE_FLOWS={:?} is not a boolean (0/1/true/false/on/off); \
+                 causal recording stays enabled",
+                raw.unwrap_or_default()
+            )),
+        ),
+    }
+}
+
+/// Emits `warning: {message}` to stderr at most once per `key` for the
+/// lifetime of the process (the key is conventionally the variable name).
+pub fn warn_once(key: &str, message: &str) {
+    static WARNED: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
+    let warned = WARNED.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let mut warned = warned.lock().expect("warn-once registry poisoned");
+    if warned.insert(key.to_string()) {
+        eprintln!("warning: {message}");
+    }
+}
+
+/// Reads `name` from the process environment through `parse`, warning once
+/// (keyed by `name`) if the set value was unusable.
+pub fn from_env_with<T>(name: &str, parse: impl FnOnce(Option<&str>) -> (T, Option<String>)) -> T {
+    let (value, warning) = parse(std::env::var(name).ok().as_deref());
+    if let Some(message) = warning {
+        warn_once(name, &message);
+    }
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_cap_unset_is_default_without_warning() {
+        assert_eq!(
+            parse_trace_cap(None),
+            (FlightRecorder::DEFAULT_CAPACITY, None)
+        );
+        let (cap, warning) = parse_trace_cap(Some("4096"));
+        assert_eq!(cap, 4096);
+        assert!(warning.is_none());
+    }
+
+    #[test]
+    fn unusable_trace_cap_warns_and_falls_back() {
+        for bad in ["", "0", "-3", "lots", "1.5"] {
+            let (cap, warning) = parse_trace_cap(Some(bad));
+            assert_eq!(cap, FlightRecorder::DEFAULT_CAPACITY, "input {bad:?}");
+            let message = warning.unwrap_or_else(|| panic!("no warning for {bad:?}"));
+            assert!(message.contains("DSNREP_TRACE_CAP"), "{message}");
+            assert!(message.contains(&format!("{bad:?}")), "{message}");
+        }
+    }
+
+    #[test]
+    fn unusable_window_warns_and_falls_back() {
+        assert_eq!(parse_window_us(None), (DEFAULT_WINDOW_PICOS, None));
+        assert_eq!(parse_window_us(Some("250")), (250_000_000, None));
+        for bad in ["0", "zero", "", "99999999999999999999"] {
+            let (picos, warning) = parse_window_us(Some(bad));
+            assert_eq!(picos, DEFAULT_WINDOW_PICOS, "input {bad:?}");
+            assert!(
+                warning.is_some_and(|m| m.contains("DSNREP_TS_WINDOW_US")),
+                "input {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn flows_flag_parses_booleans_and_warns_on_noise() {
+        assert_eq!(parse_flows_flag(None), (true, None));
+        for on in ["1", "true", "on", " ON "] {
+            assert_eq!(parse_flows_flag(Some(on)), (true, None), "input {on:?}");
+        }
+        for off in ["0", "false", "off", " Off "] {
+            assert_eq!(parse_flows_flag(Some(off)), (false, None), "input {off:?}");
+        }
+        for bad in ["yes", "2", ""] {
+            let (value, warning) = parse_flows_flag(Some(bad));
+            assert!(value, "unusable value must fall back to enabled");
+            assert!(
+                warning.is_some_and(|m| m.contains("DSNREP_TRACE_FLOWS")),
+                "input {bad:?}"
+            );
+        }
+    }
+}

@@ -52,6 +52,8 @@
 
 mod attribution;
 mod chrome;
+mod critpath;
+pub mod env;
 mod recorder;
 mod summary;
 mod timeseries;
@@ -60,10 +62,13 @@ mod tracer;
 pub use attribution::{
     AttributionTree, ClockAttribution, ConservationError, NodeAttribution, PhaseProfile,
 };
-pub use recorder::{FlightRecorder, InstantRecord, PacketRecord, SpanRecord};
+pub use critpath::{fold_segments, CriticalPathReport, NodeCriticalPath, Segment, TxnPath};
+pub use recorder::{ApplyRecord, FlightRecorder, InstantRecord, PacketRecord, SpanRecord};
 pub use summary::{TraceSummary, TrackSummary};
 pub use timeseries::{MetricsHub, TimeSeries, TrackTimeSeries, DEFAULT_WINDOW_PICOS};
-pub use tracer::{Metric, MetricKind, NullTracer, Phase, TraceEventKind, Tracer};
+pub use tracer::{
+    Metric, MetricKind, NullTracer, PacketLife, Phase, TraceEventKind, Tracer, NO_TXN,
+};
 
 /// Conventional track id for a cluster's primary node.
 pub const TRACK_PRIMARY: u32 = 0;
@@ -72,13 +77,16 @@ pub const TRACK_PRIMARY: u32 = 0;
 pub const TRACK_BACKUP: u32 = 1;
 
 /// Schema version stamped into every trace artifact this crate renders
-/// (`summary.json`, the `events.jsonl` header line, `attribution.json`).
+/// (`summary.json`, the `events.jsonl` header line, `attribution.json`,
+/// `timeseries.json`, `critical_path.json`).
 ///
 /// Bumped whenever a key is renamed, removed, or changes meaning, so
 /// `simdiff` can refuse to compare artifacts whose shapes diverged instead
 /// of silently misreading them (the same contract `simperf` keeps with its
-/// own `schema_version`).
-pub const TRACE_SCHEMA_VERSION: u32 = 1;
+/// own `schema_version`). Version 2: causal tracing — new link metrics in
+/// `timeseries.json`, the `apply` phase, and the `critical_path.json`
+/// artifact.
+pub const TRACE_SCHEMA_VERSION: u32 = 2;
 
 /// Escapes a string for inclusion inside a JSON string literal.
 pub(crate) fn json_escape(s: &str) -> String {

@@ -5,11 +5,12 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::rc::Rc;
 
-use dsnrep_simcore::{TrafficClass, VirtualInstant};
+use dsnrep_simcore::{BusyCause, StallCause, TrafficClass, VirtualInstant};
 
+use crate::critpath::{fold_segments, TxnPath, TxnPathStats};
 use crate::summary::{TraceSummary, TrackSummary};
 use crate::timeseries::{MetricsHub, TimeSeries, DEFAULT_WINDOW_PICOS};
-use crate::tracer::{Metric, Phase, TraceEventKind, Tracer};
+use crate::tracer::{Metric, PacketLife, Phase, TraceEventKind, Tracer};
 
 /// A completed phase span on one track.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,6 +49,20 @@ pub struct PacketRecord {
     pub class_bytes: [u64; 3],
 }
 
+/// A delivered packet applied into a peer arena (causal record).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ApplyRecord {
+    /// The node whose arena received the payload.
+    pub track: u32,
+    /// The packet's stable id (matches a [`PacketLife::id`]).
+    pub id: u64,
+    /// The transaction that issued the packet, or
+    /// [`NO_TXN`](crate::NO_TXN).
+    pub txn: u64,
+    /// The delivery instant at which the payload became applicable.
+    pub at: VirtualInstant,
+}
+
 /// Per-track packet/byte accumulators (the traffic-class matrix row).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 struct TrackTraffic {
@@ -70,6 +85,18 @@ struct Inner {
     txns: u64,
     commit_latency_log2: [u64; LATENCY_BUCKETS],
     hub: MetricsHub,
+    /// Causal recording (packet lifecycles, applies, txn paths). Kept in
+    /// dedicated stores so toggling it never perturbs the span/instant
+    /// rings, the traffic matrix, or the metrics hub — the flows-on/off
+    /// bit-identity contract of the exported artifacts.
+    causal: bool,
+    packet_lives: VecDeque<(u32, PacketLife)>,
+    dropped_packet_lives: u64,
+    applies: VecDeque<ApplyRecord>,
+    dropped_applies: u64,
+    txn_paths: VecDeque<TxnPath>,
+    dropped_txn_paths: u64,
+    path_stats: Vec<TxnPathStats>,
 }
 
 impl Inner {
@@ -142,30 +169,25 @@ impl FlightRecorder {
 
     /// Creates a recorder whose ring capacity honors the
     /// `DSNREP_TRACE_CAP` environment variable (records; falls back to
-    /// [`FlightRecorder::DEFAULT_CAPACITY`] when unset) and whose metrics
+    /// [`FlightRecorder::DEFAULT_CAPACITY`] when unset), whose metrics
     /// window honors `DSNREP_TS_WINDOW_US` (virtual microseconds; falls
-    /// back to 1 virtual millisecond). A set-but-unusable value of either
-    /// variable is a misconfiguration, not a request for the default, so
-    /// it warns once on stderr before falling back.
+    /// back to 1 virtual millisecond), and whose causal recording honors
+    /// `DSNREP_TRACE_FLOWS` (on unless set to `0`/`false`/`off`). A
+    /// set-but-unusable value of any variable is a misconfiguration, not a
+    /// request for the default, so it warns once on stderr before falling
+    /// back (see [`crate::env`]).
     ///
     /// Raise the capacity when attribution inputs must not be truncated by
     /// the drop-oldest ring; the summary's `ring` section reports whether
     /// any record was dropped.
     pub fn from_env() -> Self {
-        let (capacity, cap_warning) =
-            parse_trace_cap(std::env::var("DSNREP_TRACE_CAP").ok().as_deref());
-        if let Some(message) = cap_warning {
-            static WARNED: std::sync::Once = std::sync::Once::new();
-            WARNED.call_once(|| eprintln!("warning: {message}"));
-        }
-        let (window_picos, window_warning) =
-            parse_window_us(std::env::var("DSNREP_TS_WINDOW_US").ok().as_deref());
-        if let Some(message) = window_warning {
-            static WARNED: std::sync::Once = std::sync::Once::new();
-            WARNED.call_once(|| eprintln!("warning: {message}"));
-        }
+        let capacity = crate::env::from_env_with("DSNREP_TRACE_CAP", crate::env::parse_trace_cap);
+        let window_picos =
+            crate::env::from_env_with("DSNREP_TS_WINDOW_US", crate::env::parse_window_us);
+        let causal = crate::env::from_env_with("DSNREP_TRACE_FLOWS", crate::env::parse_flows_flag);
         let rec = FlightRecorder::with_capacity(capacity);
         rec.set_window_picos(window_picos);
+        rec.set_causal_enabled(causal);
         rec
     }
 
@@ -189,6 +211,14 @@ impl FlightRecorder {
                 txns: 0,
                 commit_latency_log2: [0; LATENCY_BUCKETS],
                 hub: MetricsHub::new(DEFAULT_WINDOW_PICOS),
+                causal: true,
+                packet_lives: VecDeque::new(),
+                dropped_packet_lives: 0,
+                applies: VecDeque::new(),
+                dropped_applies: 0,
+                txn_paths: VecDeque::new(),
+                dropped_txn_paths: 0,
+                path_stats: Vec::new(),
             })),
         }
     }
@@ -341,6 +371,65 @@ impl FlightRecorder {
             .map_or(0, |t| t.packets)
     }
 
+    /// Enables or disables causal recording: packet lifecycles, apply
+    /// records and per-transaction critical paths. Enabled by default;
+    /// [`FlightRecorder::from_env`] honors `DSNREP_TRACE_FLOWS`. Toggling
+    /// never affects the span/instant rings, the traffic matrix, or the
+    /// metrics hub, so every other exported artifact is bit-identical
+    /// either way.
+    pub fn set_causal_enabled(&self, enabled: bool) {
+        self.inner.borrow_mut().causal = enabled;
+    }
+
+    /// Whether causal recording is enabled.
+    pub fn causal_enabled(&self) -> bool {
+        self.inner.borrow().causal
+    }
+
+    /// A copy of the packet lifecycles currently in the ring, oldest
+    /// first, each with its sending track.
+    pub fn packet_lives(&self) -> Vec<(u32, PacketLife)> {
+        self.inner.borrow().packet_lives.iter().copied().collect()
+    }
+
+    /// Packet lifecycles dropped because the ring was full.
+    pub fn dropped_packet_lives(&self) -> u64 {
+        self.inner.borrow().dropped_packet_lives
+    }
+
+    /// A copy of the apply records currently in the ring, oldest first.
+    pub fn applies(&self) -> Vec<ApplyRecord> {
+        self.inner.borrow().applies.iter().copied().collect()
+    }
+
+    /// Apply records dropped because the ring was full.
+    pub fn dropped_applies(&self) -> u64 {
+        self.inner.borrow().dropped_applies
+    }
+
+    /// A copy of the transaction critical paths currently in the ring,
+    /// oldest first.
+    pub fn txn_paths(&self) -> Vec<TxnPath> {
+        self.inner.borrow().txn_paths.iter().copied().collect()
+    }
+
+    /// Transaction paths dropped because the ring was full (the unbounded
+    /// [`FlightRecorder::txn_path_stats`] accumulators are unaffected).
+    pub fn dropped_txn_paths(&self) -> u64 {
+        self.inner.borrow().dropped_txn_paths
+    }
+
+    /// The unbounded critical-path accumulators for `track` (empty stats
+    /// if the track never recorded a path).
+    pub fn txn_path_stats(&self, track: u32) -> TxnPathStats {
+        self.inner
+            .borrow()
+            .path_stats
+            .get(track as usize)
+            .cloned()
+            .unwrap_or_default()
+    }
+
     pub(crate) fn with_inner_records<R>(
         &self,
         f: impl FnOnce(&VecDeque<SpanRecord>, &VecDeque<InstantRecord>) -> R,
@@ -444,49 +533,78 @@ impl Tracer for FlightRecorder {
             .gauge_set(track, metric, at, value);
     }
 
+    fn packet_life(&self, track: u32, life: PacketLife) {
+        debug_assert!(
+            life.ready <= life.start && life.start <= life.done && life.done <= life.delivered,
+            "packet lifecycle instants must be monotone"
+        );
+        let mut inner = self.inner.borrow_mut();
+        if !inner.causal {
+            return;
+        }
+        if inner.packet_lives.len() == inner.capacity {
+            inner.packet_lives.pop_front();
+            inner.dropped_packet_lives += 1;
+        }
+        inner.packet_lives.push_back((track, life));
+    }
+
+    fn packet_applied(&self, track: u32, id: u64, txn: u64, at: VirtualInstant) {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.causal {
+            return;
+        }
+        if inner.applies.len() == inner.capacity {
+            inner.applies.pop_front();
+            inner.dropped_applies += 1;
+        }
+        inner.applies.push_back(ApplyRecord { track, id, txn, at });
+    }
+
+    fn txn_path(
+        &self,
+        track: u32,
+        txn: u64,
+        start: VirtualInstant,
+        end: VirtualInstant,
+        busy_picos: [u64; BusyCause::COUNT],
+        stall_picos: [u64; StallCause::COUNT],
+    ) {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.causal {
+            return;
+        }
+        let segments = fold_segments(&busy_picos, &stall_picos);
+        let path = TxnPath {
+            track,
+            txn,
+            start_ps: start.as_picos(),
+            end_ps: end.as_picos(),
+            segments,
+        };
+        // The clock conservation law makes this hold by construction; a
+        // mismatch means a probe reported a breakdown that is not the
+        // delta of a self-attributing clock.
+        assert_eq!(
+            path.segment_total(),
+            path.latency_ps(),
+            "txn {txn:#x} on track {track}: critical-path segments must sum \
+             to the commit latency"
+        );
+        let idx = track as usize;
+        if idx >= inner.path_stats.len() {
+            inner.path_stats.resize_with(idx + 1, TxnPathStats::default);
+        }
+        inner.path_stats[idx].fold(&path);
+        if inner.txn_paths.len() == inner.capacity {
+            inner.txn_paths.pop_front();
+            inner.dropped_txn_paths += 1;
+        }
+        inner.txn_paths.push_back(path);
+    }
+
     fn sample_to(&self, at: VirtualInstant) {
         self.inner.borrow_mut().hub.sample_to(at);
-    }
-}
-
-/// Interprets `DSNREP_TRACE_CAP`: `None` (unset) means the default
-/// capacity; a set value must parse as a positive record count, and
-/// anything else yields the default **plus a warning message** — a set
-/// variable the recorder cannot honor should never be silent.
-pub(crate) fn parse_trace_cap(raw: Option<&str>) -> (usize, Option<String>) {
-    match raw {
-        None => (FlightRecorder::DEFAULT_CAPACITY, None),
-        Some(v) => match v.trim().parse::<usize>() {
-            Ok(cap) if cap > 0 => (cap, None),
-            _ => (
-                FlightRecorder::DEFAULT_CAPACITY,
-                Some(format!(
-                    "DSNREP_TRACE_CAP={v:?} is not a positive record count; \
-                     using the default of {} records",
-                    FlightRecorder::DEFAULT_CAPACITY
-                )),
-            ),
-        },
-    }
-}
-
-/// Interprets `DSNREP_TS_WINDOW_US` (virtual microseconds per metrics
-/// window) with the same contract as [`parse_trace_cap`]: unset means the
-/// default, unusable means the default plus a warning.
-pub(crate) fn parse_window_us(raw: Option<&str>) -> (u64, Option<String>) {
-    match raw {
-        None => (DEFAULT_WINDOW_PICOS, None),
-        Some(v) => match v.trim().parse::<u64>() {
-            Ok(us) if us > 0 && us <= u64::MAX / 1_000_000 => (us * 1_000_000, None),
-            _ => (
-                DEFAULT_WINDOW_PICOS,
-                Some(format!(
-                    "DSNREP_TS_WINDOW_US={v:?} is not a usable window width; \
-                     using the default of {} virtual us",
-                    DEFAULT_WINDOW_PICOS / 1_000_000
-                )),
-            ),
-        },
     }
 }
 
@@ -573,43 +691,6 @@ mod tests {
     }
 
     #[test]
-    fn trace_cap_unset_is_default_without_warning() {
-        assert_eq!(
-            parse_trace_cap(None),
-            (FlightRecorder::DEFAULT_CAPACITY, None)
-        );
-        let (cap, warning) = parse_trace_cap(Some("4096"));
-        assert_eq!(cap, 4096);
-        assert!(warning.is_none());
-    }
-
-    #[test]
-    fn unusable_trace_cap_warns_and_falls_back() {
-        for bad in ["", "0", "-3", "lots", "1.5"] {
-            let (cap, warning) = parse_trace_cap(Some(bad));
-            assert_eq!(cap, FlightRecorder::DEFAULT_CAPACITY, "input {bad:?}");
-            let message = warning.unwrap_or_else(|| panic!("no warning for {bad:?}"));
-            assert!(message.contains("DSNREP_TRACE_CAP"), "{message}");
-            assert!(message.contains(&format!("{bad:?}")), "{message}");
-        }
-    }
-
-    #[test]
-    fn unusable_window_warns_and_falls_back() {
-        use crate::timeseries::DEFAULT_WINDOW_PICOS;
-        assert_eq!(parse_window_us(None), (DEFAULT_WINDOW_PICOS, None));
-        assert_eq!(parse_window_us(Some("250")), (250_000_000, None));
-        for bad in ["0", "zero", "", "99999999999999999999"] {
-            let (picos, warning) = parse_window_us(Some(bad));
-            assert_eq!(picos, DEFAULT_WINDOW_PICOS, "input {bad:?}");
-            assert!(
-                warning.is_some_and(|m| m.contains("DSNREP_TS_WINDOW_US")),
-                "input {bad:?}"
-            );
-        }
-    }
-
-    #[test]
     fn txn_spans_and_packets_feed_the_timeseries() {
         use crate::tracer::Metric;
         let rec = FlightRecorder::new();
@@ -629,6 +710,67 @@ mod tests {
         assert_eq!(ts.latency_reaggregated()[10], 1);
         // Snapshotting is idempotent: the live hub is untouched.
         assert_eq!(rec.timeseries(), ts);
+    }
+
+    #[test]
+    fn causal_toggle_gates_the_causal_stores_only() {
+        let life = PacketLife {
+            id: 3,
+            txn: 5,
+            ready: at(10),
+            start: at(12),
+            done: at(20),
+            delivered: at(30),
+            class_bytes: [64, 0, 0],
+        };
+        let record = |causal: bool| {
+            let rec = FlightRecorder::new();
+            rec.set_causal_enabled(causal);
+            rec.span(0, Phase::Txn, at(0), at(100));
+            rec.packet(0, at(12), [64, 0, 0]);
+            rec.packet_life(0, life);
+            rec.packet_applied(1, 3, 5, at(30));
+            let mut busy = [0u64; BusyCause::COUNT];
+            busy[0] = 100;
+            rec.txn_path(0, 5, at(0), at(100), busy, [0; StallCause::COUNT]);
+            rec
+        };
+        let on = record(true);
+        assert_eq!(on.packet_lives(), vec![(0, life)]);
+        assert_eq!(on.applies().len(), 1);
+        assert_eq!(on.applies()[0].txn, 5);
+        assert_eq!(on.txn_paths().len(), 1);
+        assert_eq!(on.txn_path_stats(0).txns, 1);
+        assert_eq!(on.txn_path_stats(9).txns, 0);
+        let off = record(false);
+        assert!(!off.causal_enabled());
+        assert!(off.packet_lives().is_empty());
+        assert!(off.applies().is_empty());
+        assert!(off.txn_paths().is_empty());
+        assert_eq!(off.txn_path_stats(0).txns, 0);
+        // Everything else is identical either way.
+        assert_eq!(on.summary(), off.summary());
+        assert_eq!(on.timeseries(), off.timeseries());
+    }
+
+    #[test]
+    fn causal_rings_drop_oldest_and_count() {
+        let rec = FlightRecorder::with_capacity(2);
+        for i in 0..4u64 {
+            rec.packet_applied(1, i, i, at(i));
+        }
+        assert_eq!(rec.applies().len(), 2);
+        assert_eq!(rec.dropped_applies(), 2);
+        assert_eq!(rec.applies()[0].id, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must sum")]
+    fn txn_path_that_does_not_cover_its_latency_panics() {
+        let rec = FlightRecorder::new();
+        let mut busy = [0u64; BusyCause::COUNT];
+        busy[0] = 60; // only 60 of 100 ps accounted
+        rec.txn_path(0, 1, at(0), at(100), busy, [0; StallCause::COUNT]);
     }
 
     #[test]

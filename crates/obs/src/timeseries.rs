@@ -315,7 +315,7 @@ pub struct TimeSeries {
 /// The percentile of a sparse log₂ histogram, with the same bucket
 /// semantics as [`TraceSummary::commit_latency_percentile`]: the lower
 /// bound in picoseconds of the bucket containing the `q`-th quantile.
-fn sparse_percentile(buckets: &[(u8, u64)], q: f64) -> Option<u64> {
+pub(crate) fn sparse_percentile(buckets: &[(u8, u64)], q: f64) -> Option<u64> {
     let total: u128 = buckets.iter().map(|&(_, c)| c as u128).sum();
     if total == 0 {
         return None;

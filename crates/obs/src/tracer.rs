@@ -2,7 +2,12 @@
 
 use core::fmt;
 
-use dsnrep_simcore::{StallCause, VirtualInstant};
+use dsnrep_simcore::{BusyCause, StallCause, VirtualDuration, VirtualInstant};
+
+/// The transaction id carried by SAN packets issued outside any
+/// transaction (barrier flushes, recovery writes, cursor write-backs).
+/// Such packets get lifecycle records but never flow events.
+pub const NO_TXN: u64 = u64::MAX;
 
 /// A per-transaction pipeline phase, the unit of span attribution.
 ///
@@ -27,11 +32,14 @@ pub enum Phase {
     Abort,
     /// `recover`: post-crash log scan and rollback/roll-forward.
     Recovery,
+    /// Backup-side apply: a redo reader draining delivered log into the
+    /// backup database image (active scheme's `catch_up`/takeover drain).
+    Apply,
 }
 
 impl Phase {
     /// Every phase, in display order.
-    pub const ALL: [Phase; 8] = [
+    pub const ALL: [Phase; 9] = [
         Phase::Txn,
         Phase::Begin,
         Phase::UndoWrite,
@@ -40,6 +48,7 @@ impl Phase {
         Phase::Barrier,
         Phase::Abort,
         Phase::Recovery,
+        Phase::Apply,
     ];
 
     /// A stable lower-snake-case name for trace and JSON output.
@@ -53,6 +62,7 @@ impl Phase {
             Phase::Barrier => "barrier",
             Phase::Abort => "abort",
             Phase::Recovery => "recovery",
+            Phase::Apply => "apply",
         }
     }
 }
@@ -140,17 +150,27 @@ pub enum Metric {
     StallDataVisibility,
     /// Picoseconds stalled on uncategorised waits (counter).
     StallOther,
+    /// Picoseconds packets queued behind the SAN link before service — the
+    /// link's FIFO wait, summed per packet at issue time (counter).
+    LinkQueueWaitPicos,
+    /// Picoseconds the SAN link spent serving this node's packets
+    /// (overhead + wire time; window delta / window width = utilization)
+    /// (counter).
+    LinkBusyPicos,
     /// Transactions currently between begin and commit/abort (gauge).
     InflightTxns,
     /// Dirty write-buffer lines awaiting merge or flush (gauge).
     WbufDirtyLines,
     /// Valid lines resident in the board cache (gauge).
     CacheOccupancyLines,
+    /// SAN packets sent but not yet delivered to the peer, the sender's
+    /// in-flight queue depth (gauge).
+    LinkQueueDepth,
 }
 
 impl Metric {
     /// Every metric, in display order (counters first, then gauges).
-    pub const ALL: [Metric; 14] = [
+    pub const ALL: [Metric; 17] = [
         Metric::CommittedTxns,
         Metric::SanPackets,
         Metric::SanModifiedBytes,
@@ -162,13 +182,16 @@ impl Metric {
         Metric::StallRingFull,
         Metric::StallDataVisibility,
         Metric::StallOther,
+        Metric::LinkQueueWaitPicos,
+        Metric::LinkBusyPicos,
         Metric::InflightTxns,
         Metric::WbufDirtyLines,
         Metric::CacheOccupancyLines,
+        Metric::LinkQueueDepth,
     ];
 
     /// Number of metrics (length of [`Metric::ALL`]).
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 17;
 
     /// Dense index into [`Metric::ALL`].
     pub const fn index(self) -> usize {
@@ -190,9 +213,10 @@ impl Metric {
     /// Whether this metric accumulates or snapshots.
     pub const fn kind(self) -> MetricKind {
         match self {
-            Metric::InflightTxns | Metric::WbufDirtyLines | Metric::CacheOccupancyLines => {
-                MetricKind::Gauge
-            }
+            Metric::InflightTxns
+            | Metric::WbufDirtyLines
+            | Metric::CacheOccupancyLines
+            | Metric::LinkQueueDepth => MetricKind::Gauge,
             _ => MetricKind::Counter,
         }
     }
@@ -211,9 +235,12 @@ impl Metric {
             Metric::StallRingFull => "stall_ring_full_picos",
             Metric::StallDataVisibility => "stall_data_visibility_picos",
             Metric::StallOther => "stall_other_picos",
+            Metric::LinkQueueWaitPicos => "link_queue_wait_picos",
+            Metric::LinkBusyPicos => "link_busy_picos",
             Metric::InflightTxns => "inflight_txns",
             Metric::WbufDirtyLines => "wbuf_dirty_lines",
             Metric::CacheOccupancyLines => "cache_occupancy_lines",
+            Metric::LinkQueueDepth => "link_queue_depth",
         }
     }
 }
@@ -221,6 +248,53 @@ impl Metric {
 impl fmt::Display for Metric {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+/// The full virtual-time lifecycle of one SAN packet, captured at issue
+/// time by the sending port.
+///
+/// The four instants are monotone (`ready <= start <= done <= delivered`)
+/// and name the lifecycle stages: **issue** (`ready`, the store reaches the
+/// port), **enqueue** (`ready..start`, FIFO wait behind earlier packets on
+/// the link), **transit** (`start..delivered`, link overhead + wire time +
+/// latency; `done` is when the link frees up for the next packet), and
+/// **deliver** (`delivered`, the packet becomes applicable at the peer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PacketLife {
+    /// Stable packet id, unique per run (see `OBSERVABILITY.md` for the
+    /// `(track, sequence)` packing).
+    pub id: u64,
+    /// The transaction whose store issued this packet, or [`NO_TXN`].
+    pub txn: u64,
+    /// Issue: the instant the store handed the packet to the port.
+    pub ready: VirtualInstant,
+    /// Enqueue end: the instant the link started serving the packet
+    /// (`start - ready` is the per-packet queue wait).
+    pub start: VirtualInstant,
+    /// The instant the link finished serving (sender-side busy end).
+    pub done: VirtualInstant,
+    /// Deliver: the instant the payload becomes applicable at the peer.
+    pub delivered: VirtualInstant,
+    /// Payload bytes per [`TrafficClass`](dsnrep_simcore::TrafficClass)
+    /// index.
+    pub class_bytes: [u64; 3],
+}
+
+impl PacketLife {
+    /// Time spent queued behind earlier packets on the link.
+    pub fn queue_wait(&self) -> VirtualDuration {
+        self.start.duration_since(self.ready)
+    }
+
+    /// Time from link service start to peer-side applicability.
+    pub fn transit(&self) -> VirtualDuration {
+        self.delivered.duration_since(self.start)
+    }
+
+    /// Total payload bytes across traffic classes.
+    pub fn bytes(&self) -> u64 {
+        self.class_bytes.iter().sum()
     }
 }
 
@@ -282,6 +356,41 @@ pub trait Tracer: Clone + fmt::Debug {
         let _ = (track, metric, at, value);
     }
 
+    /// Records the full lifecycle of one SAN packet sent from `track`
+    /// (issue → enqueue → transit → deliver), captured at issue time.
+    /// Complements [`Tracer::packet`], which feeds the aggregate traffic
+    /// matrix; lifecycle records feed flow events and the critical-path
+    /// profiler and may be disabled independently (causal recording).
+    #[inline]
+    fn packet_life(&self, track: u32, life: PacketLife) {
+        let _ = (track, life);
+    }
+
+    /// Records that packet `id` (issued by transaction `txn`, or
+    /// [`NO_TXN`]) was applied into the peer arena on `track` at `at`.
+    /// Crash-lost packets are never applied and never reach this probe.
+    #[inline]
+    fn packet_applied(&self, track: u32, id: u64, txn: u64, at: VirtualInstant) {
+        let _ = (track, id, txn, at);
+    }
+
+    /// Records the busy/stall decomposition of one finished transaction
+    /// `txn` spanning `[start, end)` on `track`: per-cause picosecond
+    /// deltas of the stream clock's self-attribution over the span. By the
+    /// clock conservation law, `Σbusy + Σstall == end - start` exactly.
+    #[inline]
+    fn txn_path(
+        &self,
+        track: u32,
+        txn: u64,
+        start: VirtualInstant,
+        end: VirtualInstant,
+        busy_picos: [u64; BusyCause::COUNT],
+        stall_picos: [u64; StallCause::COUNT],
+    ) {
+        let _ = (track, txn, start, end, busy_picos, stall_picos);
+    }
+
     /// Hints that virtual time has reached `at` on every track: a periodic
     /// sampler (e.g. a [`Periodic`](dsnrep_simcore::Periodic) event on the
     /// driver's [`Scheduler`](dsnrep_simcore::Scheduler)) calls this so the
@@ -327,7 +436,44 @@ mod tests {
         t.packet(0, VirtualInstant::EPOCH, [1, 2, 3]);
         t.counter_add(0, Metric::CommittedTxns, VirtualInstant::EPOCH, 1);
         t.gauge_set(0, Metric::InflightTxns, VirtualInstant::EPOCH, 1);
+        t.packet_life(
+            0,
+            PacketLife {
+                id: 7,
+                txn: NO_TXN,
+                ready: VirtualInstant::EPOCH,
+                start: VirtualInstant::from_picos(1),
+                done: VirtualInstant::from_picos(2),
+                delivered: VirtualInstant::from_picos(3),
+                class_bytes: [1, 2, 3],
+            },
+        );
+        t.packet_applied(1, 7, NO_TXN, VirtualInstant::from_picos(3));
+        t.txn_path(
+            0,
+            0,
+            VirtualInstant::EPOCH,
+            VirtualInstant::from_picos(4),
+            [0; BusyCause::COUNT],
+            [0; StallCause::COUNT],
+        );
         t.sample_to(VirtualInstant::from_picos(100));
+    }
+
+    #[test]
+    fn packet_life_helpers_decompose_the_lifecycle() {
+        let life = PacketLife {
+            id: 1,
+            txn: 9,
+            ready: VirtualInstant::from_picos(100),
+            start: VirtualInstant::from_picos(130),
+            done: VirtualInstant::from_picos(170),
+            delivered: VirtualInstant::from_picos(250),
+            class_bytes: [32, 8, 4],
+        };
+        assert_eq!(life.queue_wait().as_picos(), 30);
+        assert_eq!(life.transit().as_picos(), 120);
+        assert_eq!(life.bytes(), 44);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use dsnrep_core::{
     RedoWriter, TxError, VersionTag,
 };
 use dsnrep_mcsim::{Link, Traffic, TxPort};
-use dsnrep_obs::{NullTracer, TraceEventKind, Tracer, TRACK_BACKUP, TRACK_PRIMARY};
+use dsnrep_obs::{NullTracer, Phase, TraceEventKind, Tracer, TRACK_BACKUP, TRACK_PRIMARY};
 use dsnrep_rio::{Arena, Layout, LayoutError, RegionId, RootSlot};
 use dsnrep_simcore::{CostModel, Region, StallCause, VirtualInstant};
 use dsnrep_workloads::{ThroughputReport, TxCtx, Workload};
@@ -50,7 +50,12 @@ impl<T: Tracer> BackupNode<T> {
         // that wait is data-visibility stall time on the backup.
         self.machine
             .stall_until(StallCause::DataVisibility, visible_at);
-        self.reader.poll(&mut self.machine)
+        let start = self.machine.now();
+        let applied = self.reader.poll(&mut self.machine);
+        if applied.txns > 0 {
+            self.machine.trace_phase(Phase::Apply, start);
+        }
+        applied
     }
 
     /// The instant the most recent consumer write-back becomes visible on
@@ -310,14 +315,16 @@ impl<T: Tracer + 'static> ActiveCluster<T> {
         machine.replicate(ring);
         machine.replicate(RedoWriter::producer_root());
 
-        // Backup -> primary port: consumer cursor only.
-        let reverse = TxPort::new_traced(
+        // Backup -> primary port: consumer cursor only. Its packets land
+        // in the primary's arena, so apply records belong to that track.
+        let mut reverse = TxPort::new_traced(
             &costs,
             reverse_link,
             Rc::clone(&arena),
             tracer.clone(),
             TRACK_BACKUP,
         );
+        reverse.set_peer_track(TRACK_PRIMARY);
         let mut backup_machine = Machine::with_port_traced(
             costs.clone(),
             Rc::clone(&backup_arena),
@@ -561,7 +568,9 @@ impl<T: Tracer + 'static> ActiveTakeover<T> {
     /// caller catches the unwind and may [`ActiveTakeover::resume`]).
     pub fn recover(mut self) -> Result<Failover<T>, LayoutError> {
         // Apply everything that was delivered before the crash.
+        let drain_start = self.machine.now();
         self.reader.poll(&mut self.machine);
+        self.machine.trace_phase(Phase::Apply, drain_start);
         let applied = self.reader.applied_seq();
         // Stamp the recovered sequence into the arena roots so the engine
         // reports the right committed count. The sequence root is monotone:

@@ -174,6 +174,9 @@ impl<T: Tracer + 'static> PassiveCluster<T> {
             tracer.clone(),
             TRACK_PRIMARY,
         );
+        // With multiple backups the apply instant is the same on all of
+        // them; attribute it to the canonical backup track.
+        port.set_peer_track(TRACK_BACKUP);
         for backup in &backups[1..] {
             port.add_peer(Rc::clone(backup));
         }

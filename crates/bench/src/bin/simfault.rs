@@ -9,14 +9,17 @@
 //! ```
 //!
 //! The matrix covers every combination the acceptance sweep requires:
-//! passive V0-V3 x both workloads, plus the active driver (always V3 on
-//! the primary) x both workloads in 1-safe and 2-safe modes. `--mode
-//! exhaustive` sweeps every single-fault point (each store, packet and
-//! transaction boundary, plus mid-recovery crashes at every recovery
-//! write of the deepest rollback); `--mode random` explores seeded
-//! multi-fault schedules; `--mode both` runs both. The same seed and
-//! arguments reproduce `faultcov.json` byte-for-byte — CI runs the gate
-//! twice and `cmp`s the outputs.
+//! passive V0-V3 x both workloads, the active driver (always V3 on the
+//! primary) x both workloads in 1-safe and 2-safe modes, plus the
+//! N-node chain and quorum drivers at RF = 3. `--mode exhaustive`
+//! sweeps every single-fault point (each store, packet and transaction
+//! boundary, plus mid-recovery crashes at every recovery write of the
+//! deepest rollback); `--mode random` explores seeded multi-fault
+//! schedules and, for the chain/quorum scenarios, additionally runs a
+//! seeded partition campaign (every plan severs or delays one fabric
+//! link, half also crash the head); `--mode both` runs both. The same
+//! seed and arguments reproduce `faultcov.json` byte-for-byte — CI runs
+//! the gate twice and `cmp`s the outputs.
 //!
 //! Exit codes:
 //!
@@ -31,7 +34,9 @@ use std::process::ExitCode;
 
 use dsnrep_bench::faultcov::{render, ScenarioCoverage};
 use dsnrep_core::VersionTag;
-use dsnrep_faultsim::{exhaustive_single_fault, random_campaign, silence_fault_panics, Scenario};
+use dsnrep_faultsim::{
+    exhaustive_single_fault, partition_campaign, random_campaign, silence_fault_panics, Scenario,
+};
 use dsnrep_workloads::WorkloadKind;
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -123,6 +128,14 @@ fn matrix(txns: u64) -> Vec<Scenario> {
         scenarios.push(Scenario::active(workload).with_txns(t));
         scenarios.push(Scenario::active(workload).with_txns(t).two_safe());
     }
+    // N-node fabric drivers at RF = 3: the chain, a majority quorum
+    // (R = W = 2), and a write-all quorum (W = 3) whose commits degrade
+    // visibly whenever a replica link is severed.
+    let v3 = VersionTag::ImprovedLog;
+    scenarios.push(Scenario::chain(v3, WorkloadKind::DebitCredit, 3).with_txns(txns));
+    scenarios.push(Scenario::chain(v3, WorkloadKind::OrderEntry, 3).with_txns(oe_txns));
+    scenarios.push(Scenario::quorum(v3, WorkloadKind::DebitCredit, 3, 2, 2).with_txns(txns));
+    scenarios.push(Scenario::quorum(v3, WorkloadKind::DebitCredit, 3, 1, 3).with_txns(txns));
     scenarios
 }
 
@@ -159,15 +172,28 @@ fn main() -> ExitCode {
         } else {
             None
         };
+        let partition = if opts.mode != Mode::Exhaustive && scenario.topology().is_some() {
+            match partition_campaign(scenario, opts.seed, opts.plans, None) {
+                Ok(c) => Some(c),
+                Err(e) => {
+                    eprintln!("simfault: {label}: partition campaign aborted: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            None
+        };
         let cov = ScenarioCoverage {
             label,
             exhaustive,
             random,
+            partition,
         };
         let plans: u64 = cov
             .exhaustive
             .iter()
             .chain(cov.random.iter())
+            .chain(cov.partition.iter())
             .map(|c| c.plans_run)
             .sum();
         eprintln!(
@@ -190,7 +216,12 @@ fn main() -> ExitCode {
 
     let mut failed = 0usize;
     for cov in &coverage {
-        for campaign in cov.exhaustive.iter().chain(cov.random.iter()) {
+        for campaign in cov
+            .exhaustive
+            .iter()
+            .chain(cov.random.iter())
+            .chain(cov.partition.iter())
+        {
             for cx in &campaign.counterexamples {
                 failed += 1;
                 eprintln!(

@@ -22,9 +22,10 @@
 
 use std::time::Instant;
 
+use dsnrep_cluster::{ReplicationStrategy, Topology};
 use dsnrep_core::{build_engine, EngineConfig, Machine, VersionTag};
 use dsnrep_mcsim::Traffic;
-use dsnrep_repl::{ActiveCluster, PassiveCluster, Scheme, SmpExperiment};
+use dsnrep_repl::{ActiveCluster, PassiveCluster, ReplicaSet, Scheme, SmpExperiment};
 use dsnrep_simcore::{CostModel, TrafficClass, MIB};
 use dsnrep_workloads::{run_standalone, WorkloadKind};
 
@@ -58,7 +59,10 @@ const BIGCELL_DB: u64 = 2 * MIB;
 /// count (scenarios no longer all run exactly `txns_per_scenario`), and
 /// `wall_host_cores` (host core count, named with `wall` so cross-machine
 /// diffs only warn).
-const SCHEMA_VERSION: u32 = 4;
+///
+/// v5: added the N-node fabric scenarios `chain_rf3` and `quorum_rf3`
+/// (RF = 3 improved-log replica sets over per-pair SAN links).
+const SCHEMA_VERSION: u32 = 5;
 
 /// The deterministic virtual-time footprint of one scenario. Identical
 /// costs, seed and transaction count must reproduce these bit-for-bit.
@@ -182,6 +186,36 @@ fn active_scenario(name: &'static str, txns: u64) -> Scenario {
     }
 }
 
+/// An RF = 3 improved-log replica set: the head's native pair link plus
+/// the multi-link fabric (chain hops or quorum fan-out/ack legs). These
+/// pin the cost of the N-node paths next to `passive_improved_log`, so a
+/// fabric-side regression cannot hide inside the pair numbers.
+fn replica_set_scenario(name: &'static str, topology: Topology, txns: u64) -> Scenario {
+    let config = EngineConfig::for_db(DB);
+    let mut set = ReplicaSet::new(
+        CostModel::alpha_21164a(),
+        VersionTag::ImprovedLog,
+        &config,
+        topology,
+    );
+    let mut workload = WorkloadKind::DebitCredit.build(set.engine().db_region(), SEED);
+    let t0 = Instant::now();
+    let report = set.run(workload.as_mut(), txns);
+    let wall_secs = t0.elapsed().as_secs_f64();
+    set.quiesce();
+    Scenario {
+        name,
+        txns,
+        txns_per_wall_sec: txns as f64 / wall_secs,
+        wall_secs,
+        virt: VirtMetrics::from_traffic(
+            set.machine().stats().elapsed.as_picos(),
+            report.tps(),
+            &set.traffic(),
+        ),
+    }
+}
+
 /// The 64-node cell: 32 passive improved-log streams (32 primaries + 32
 /// backup arenas) over one shared link, interleaved in minimum-virtual-time
 /// order — the scenario the batched store pipeline is sized against.
@@ -220,7 +254,7 @@ fn main() {
     let wall = Instant::now();
 
     type Build = fn(&'static str, u64) -> Scenario;
-    let table: [(&'static str, Build); 6] = [
+    let table: [(&'static str, Build); 8] = [
         ("standalone_improved_log", |n, t| {
             standalone_scenario(n, VersionTag::ImprovedLog, t)
         }),
@@ -234,6 +268,15 @@ fn main() {
             passive_scenario(n, VersionTag::ImprovedLog, t)
         }),
         ("active_redo_ring", |n, t| active_scenario(n, t)),
+        ("chain_rf3", |n, t| {
+            let topology = Topology::new(3, ReplicationStrategy::Chain).expect("rf 3 chain");
+            replica_set_scenario(n, topology, t)
+        }),
+        ("quorum_rf3", |n, t| {
+            let strategy = ReplicationStrategy::Quorum { read: 2, write: 2 };
+            let topology = Topology::new(3, strategy).expect("rf 3 majority quorum");
+            replica_set_scenario(n, topology, t)
+        }),
         ("bigcell", bigcell_scenario),
     ];
 

@@ -16,11 +16,14 @@ use dsnrep_faultsim::Campaign;
 
 /// Bumped whenever the shape of `faultcov.json` changes, so `simdiff`
 /// refuses stale-baseline comparisons instead of misreporting them.
-pub const SCHEMA_VERSION: u32 = 1;
+/// Version 2 added the N-node chain/quorum scenarios, the per-campaign
+/// `partition_faults`/`degraded_commits` counters, and the `partition`
+/// campaign block.
+pub const SCHEMA_VERSION: u32 = 2;
 
-/// One scenario's campaigns, keyed by the scenario label. Either mode
-/// may be absent (the emitted object then simply omits that key; a
-/// baseline must be blessed with the same `--mode` it is diffed against).
+/// One scenario's campaigns, keyed by the scenario label. Any mode may
+/// be absent (the emitted object then simply omits that key; a baseline
+/// must be blessed with the same `--mode` it is diffed against).
 #[derive(Debug)]
 pub struct ScenarioCoverage {
     /// The scenario label (`passive-v1-debit-credit`).
@@ -29,11 +32,16 @@ pub struct ScenarioCoverage {
     pub exhaustive: Option<Campaign>,
     /// The seeded random multi-fault campaign, if that mode ran.
     pub random: Option<Campaign>,
+    /// The seeded partition campaign (chain/quorum scenarios only).
+    pub partition: Option<Campaign>,
 }
 
 impl ScenarioCoverage {
     fn campaigns(&self) -> impl Iterator<Item = &Campaign> {
-        self.exhaustive.iter().chain(self.random.iter())
+        self.exhaustive
+            .iter()
+            .chain(self.random.iter())
+            .chain(self.partition.iter())
     }
 
     /// Total counterexamples across both modes.
@@ -83,6 +91,9 @@ pub fn render(mode: &str, seed: u64, scenarios: &[ScenarioCoverage]) -> String {
         if let Some(c) = &s.random {
             blocks.push(("random", c));
         }
+        if let Some(c) = &s.partition {
+            blocks.push(("partition", c));
+        }
         for (j, (name, campaign)) in blocks.iter().enumerate() {
             let inner_comma = if j + 1 < blocks.len() { "," } else { "" };
             let _ = writeln!(out, "      \"{name}\": {{");
@@ -105,6 +116,8 @@ fn write_campaign(out: &mut String, c: &Campaign) {
     let _ = writeln!(out, "        \"txn_sites\": {},", c.txn_sites);
     let _ = writeln!(out, "        \"recovery_sites\": {},", c.recovery_sites);
     let _ = writeln!(out, "        \"heartbeat_faults\": {},", c.heartbeat_faults);
+    let _ = writeln!(out, "        \"partition_faults\": {},", c.partition_faults);
+    let _ = writeln!(out, "        \"degraded_commits\": {},", c.degraded_commits);
     let _ = writeln!(out, "        \"max_outage_ps\": {},", c.max_outage_ps);
     let _ = writeln!(
         out,
@@ -138,6 +151,8 @@ mod tests {
             txn_sites: 5,
             recovery_sites: 9,
             heartbeat_faults: 2,
+            partition_faults: 3,
+            degraded_commits: 11,
             max_outage_ps: 3_141_592_653,
             probe: Probe {
                 stores: 40,
@@ -154,6 +169,7 @@ mod tests {
             label: c.scenario.label(),
             exhaustive: Some(c.clone()),
             random: Some(campaign(16)),
+            partition: None,
         }]
     }
 
@@ -188,6 +204,32 @@ mod tests {
                 .and_then(|t| t.get("plans_run"))
                 .and_then(JsonValue::as_int),
             Some(73)
+        );
+    }
+
+    #[test]
+    fn partition_block_renders_when_present() {
+        let mut cov = coverage();
+        cov[0].partition = Some(campaign(24));
+        let doc = render("both", 7, &cov);
+        let v = parse(&doc).expect("faultcov output must be valid JSON");
+        let scenario = v
+            .get("scenarios")
+            .and_then(|s| s.get("passive-v1-debit-credit"))
+            .expect("scenario keyed by its label");
+        assert_eq!(
+            scenario
+                .get("partition")
+                .and_then(|e| e.get("partition_faults"))
+                .and_then(JsonValue::as_int),
+            Some(3)
+        );
+        assert_eq!(
+            scenario
+                .get("partition")
+                .and_then(|e| e.get("degraded_commits"))
+                .and_then(JsonValue::as_int),
+            Some(11)
         );
     }
 

@@ -64,11 +64,18 @@ impl HeartbeatMonitor {
     }
 
     /// Records a heartbeat that arrived at `at`. Out-of-order arrivals
-    /// (earlier than the newest seen) are ignored.
+    /// (strictly earlier than the newest seen) are ignored entirely: they
+    /// neither move the deadline nor count toward [`observed`], so
+    /// `observed()` reports only the arrivals that actually refreshed the
+    /// failure detector — stale duplicates replayed under faultsim's
+    /// heartbeat delay/drop distortions must not inflate it.
+    ///
+    /// [`observed`]: HeartbeatMonitor::observed
     pub fn observe(&mut self, at: VirtualInstant) {
-        if at > self.last_seen {
-            self.last_seen = at;
+        if at < self.last_seen {
+            return;
         }
+        self.last_seen = at;
         self.observed += 1;
     }
 
@@ -179,6 +186,26 @@ mod tests {
         m.observe(late);
         m.observe(VirtualInstant::EPOCH + VirtualDuration::from_micros(100));
         assert_eq!(m.last_seen(), late);
+    }
+
+    #[test]
+    fn stale_arrivals_are_not_counted_as_observed() {
+        let mut m = HeartbeatMonitor::new(config(), VirtualInstant::EPOCH);
+        let t1 = VirtualInstant::EPOCH + VirtualDuration::from_micros(100);
+        let t2 = VirtualInstant::EPOCH + VirtualDuration::from_micros(200);
+        m.observe(t1);
+        m.observe(t2);
+        assert_eq!(m.observed(), 2);
+        // A delayed duplicate of the first beat arrives after the second:
+        // it is ignored for the deadline, so it must not count either.
+        m.observe(t1);
+        assert_eq!(m.observed(), 2);
+        assert_eq!(m.last_seen(), t2);
+        // A tie with the newest arrival still refreshes the detector
+        // (same instant, e.g. a redundant path) and is counted.
+        m.observe(t2);
+        assert_eq!(m.observed(), 3);
+        assert_eq!(m.last_seen(), t2);
     }
 
     #[test]

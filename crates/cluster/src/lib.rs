@@ -9,7 +9,10 @@
 //! * [`HeartbeatSchedule`] / [`HeartbeatMonitor`] — periodic heartbeats
 //!   over the SAN and a miss-counting failure detector.
 //! * [`NodeId`] / [`GroupView`] / [`ViewManager`] — epoch-numbered views
-//!   with deterministic backup promotion.
+//!   with deterministic backup promotion and a degraded-redundancy signal.
+//! * [`Topology`] / [`ReplicationStrategy`] — validated N-node cluster
+//!   shapes (primary-backup fan-out, chain, R/W quorums) consumed by
+//!   `dsnrep-repl`'s `ReplicaSet`.
 //! * [`takeover_timeline`] — crash-to-serving outage computation, combining
 //!   detection latency with the engine's measured recovery time.
 //!
@@ -44,9 +47,11 @@
 mod heartbeat;
 mod membership;
 mod timeline;
+mod topology;
 
 pub use heartbeat::{HeartbeatConfig, HeartbeatMonitor, HeartbeatSchedule};
 pub use membership::{GroupView, NodeId, Role, ViewError, ViewManager};
 pub use timeline::{
     takeover_timeline, takeover_timeline_with_faults, HeartbeatFaults, TakeoverTimeline,
 };
+pub use topology::{ReplicationStrategy, Topology, TopologyError};

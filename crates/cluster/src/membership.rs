@@ -84,6 +84,15 @@ impl GroupView {
             None
         }
     }
+
+    /// Live copies of the data in this view: the primary plus every
+    /// backup. A view with `redundancy() == 1` has no standby left — the
+    /// next primary failure is unmaskable. Takeover logic and the
+    /// availability report use this to distinguish "a backup failed but
+    /// the group still tolerates a fault" from "RF degraded to 1".
+    pub fn redundancy(&self) -> usize {
+        1 + self.backups.len()
+    }
 }
 
 /// Errors from view transitions.
@@ -131,11 +140,13 @@ impl Error for ViewError {}
 pub struct ViewManager {
     current: GroupView,
     history: Vec<GroupView>,
+    configured_redundancy: usize,
 }
 
 impl ViewManager {
     /// Creates a manager with an initial view at epoch 1.
     pub fn new(primary: NodeId, backups: Vec<NodeId>, at: VirtualInstant) -> Self {
+        let configured_redundancy = 1 + backups.len();
         ViewManager {
             current: GroupView {
                 epoch: 1,
@@ -144,6 +155,7 @@ impl ViewManager {
                 installed_at: at,
             },
             history: Vec::new(),
+            configured_redundancy,
         }
     }
 
@@ -185,17 +197,34 @@ impl ViewManager {
     }
 
     /// Adds a (re-synchronized) node back as the most junior backup,
-    /// installing a new view.
+    /// installing a new view. A join by a node that is already a member
+    /// is a no-op that returns the current view unchanged: bumping the
+    /// epoch for a duplicate join would inflate the epoch and pollute
+    /// [`ViewManager::history`] without changing membership.
     pub fn join(&mut self, node: NodeId, at: VirtualInstant) -> GroupView {
+        if self.current.role_of(node).is_some() {
+            return self.current.clone();
+        }
         let mut next = self.current.clone();
         next.epoch += 1;
         next.installed_at = at;
-        if next.role_of(node).is_none() {
-            next.backups.push(node);
-        }
+        next.backups.push(node);
         self.history
             .push(std::mem::replace(&mut self.current, next));
         self.current.clone()
+    }
+
+    /// The redundancy the group was configured with (1 + initial backups).
+    pub fn configured_redundancy(&self) -> usize {
+        self.configured_redundancy
+    }
+
+    /// Whether failures have eroded the group below its configured
+    /// redundancy. In particular a view at `redundancy() == 1` — primary
+    /// alive, zero backups — is degraded: the group still serves, but the
+    /// next primary failure is unmaskable ([`ViewError::NoSuccessor`]).
+    pub fn is_degraded(&self) -> bool {
+        self.current.redundancy() < self.configured_redundancy
     }
 }
 
@@ -264,6 +293,44 @@ mod tests {
         assert_eq!(v.primary(), NodeId::new(1));
         assert_eq!(v.backups(), &[NodeId::new(2), NodeId::new(0)]);
         assert_eq!(v.epoch(), 3);
+    }
+
+    #[test]
+    fn duplicate_join_is_a_no_op() {
+        let mut m = manager();
+        let before = m.current().clone();
+        // node1 is already a backup: the join must not install a view.
+        let v = m.join(NodeId::new(1), VirtualInstant::from_picos(7));
+        assert_eq!(v, before);
+        assert_eq!(m.current(), &before);
+        assert!(m.history().is_empty());
+        // The primary re-joining is equally a no-op.
+        let v = m.join(NodeId::new(0), VirtualInstant::from_picos(8));
+        assert_eq!(v.epoch(), 1);
+        assert!(m.history().is_empty());
+    }
+
+    #[test]
+    fn redundancy_tracks_live_copies() {
+        let mut m = manager();
+        assert_eq!(m.current().redundancy(), 3);
+        assert_eq!(m.configured_redundancy(), 3);
+        assert!(!m.is_degraded());
+        m.fail(NodeId::new(2), VirtualInstant::from_picos(1))
+            .unwrap();
+        assert_eq!(m.current().redundancy(), 2);
+        assert!(m.is_degraded());
+        m.fail(NodeId::new(1), VirtualInstant::from_picos(2))
+            .unwrap();
+        // Last backup gone: the view itself must say RF degraded to 1.
+        assert_eq!(m.current().redundancy(), 1);
+        assert!(m.is_degraded());
+        assert_eq!(m.current().role_of(NodeId::new(0)), Some(Role::Primary));
+        // Rejoin restores the configured redundancy.
+        m.join(NodeId::new(1), VirtualInstant::from_picos(3));
+        m.join(NodeId::new(2), VirtualInstant::from_picos(4));
+        assert_eq!(m.current().redundancy(), 3);
+        assert!(!m.is_degraded());
     }
 
     #[test]

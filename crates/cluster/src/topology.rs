@@ -1,0 +1,293 @@
+//! N-node cluster topology and replication-strategy selection.
+//!
+//! The paper evaluates a two-node primary-backup pair; this module names
+//! the generalization: a [`Topology`] is a replication factor (RF — the
+//! number of nodes holding a full copy) plus a [`ReplicationStrategy`]
+//! describing how writes reach the replicas. Three strategies are
+//! modeled, following the taxonomy in the related quorum-consensus and
+//! partial-replication work (see PAPERS.md):
+//!
+//! * **Primary-backup fan-out** — the paper's scheme: one primary doubles
+//!   every write to all RF−1 backups over the Memory Channel. RF=2 is
+//!   exactly the paper's pair and stays bit-identical to the original
+//!   two-node code path.
+//! * **Chain replication** — the head applies writes and forwards them
+//!   down a chain; the tail's copy is the most conservative and serves
+//!   reads. Link traffic is serialized hop by hop.
+//! * **Quorum consensus** — writes wait for acknowledgements from W
+//!   replicas and reads consult R, with R + W > RF so any read quorum
+//!   intersects any write quorum.
+//!
+//! The actual data movement lives in `dsnrep-repl`'s `ReplicaSet`; this
+//! module only validates shapes and derives the membership view, so it
+//! stays dependency-free (simcore only) and usable from `faultsim`.
+
+use core::fmt;
+use std::error::Error;
+
+use dsnrep_simcore::VirtualInstant;
+
+use crate::membership::{NodeId, ViewManager};
+
+/// How writes propagate to the replicas of a group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReplicationStrategy {
+    /// One primary fans every write out to all RF−1 backups (the paper's
+    /// scheme; RF=2 is the classic pair).
+    PrimaryBackup,
+    /// Writes enter at the head and propagate down the chain; the tail
+    /// acknowledges and serves reads.
+    Chain,
+    /// Writes wait for `write` acknowledgements and reads consult `read`
+    /// replicas, with `read + write > rf`.
+    Quorum {
+        /// Read quorum size R.
+        read: u8,
+        /// Write quorum size W.
+        write: u8,
+    },
+}
+
+impl fmt::Display for ReplicationStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplicationStrategy::PrimaryBackup => f.write_str("primary-backup"),
+            ReplicationStrategy::Chain => f.write_str("chain"),
+            ReplicationStrategy::Quorum { read, write } => {
+                write!(f, "quorum(r={read},w={write})")
+            }
+        }
+    }
+}
+
+/// A validated cluster shape: replication factor plus strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Topology {
+    rf: u8,
+    strategy: ReplicationStrategy,
+}
+
+/// Errors from [`Topology`] construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologyError {
+    /// RF must be at least 2 (one primary, one replica).
+    ReplicationFactorTooSmall {
+        /// The rejected RF.
+        rf: u8,
+    },
+    /// A quorum size of zero, or larger than RF, can never be assembled.
+    QuorumOutOfRange {
+        /// The offending quorum size.
+        size: u8,
+        /// The replication factor it was checked against.
+        rf: u8,
+    },
+    /// R + W must exceed RF so read and write quorums always intersect.
+    QuorumsDoNotIntersect {
+        /// Read quorum size.
+        read: u8,
+        /// Write quorum size.
+        write: u8,
+        /// The replication factor.
+        rf: u8,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::ReplicationFactorTooSmall { rf } => {
+                write!(f, "replication factor {rf} is below the minimum of 2")
+            }
+            TopologyError::QuorumOutOfRange { size, rf } => {
+                write!(f, "quorum size {size} is outside 1..={rf}")
+            }
+            TopologyError::QuorumsDoNotIntersect { read, write, rf } => {
+                write!(
+                    f,
+                    "read quorum {read} + write quorum {write} must exceed rf {rf}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+impl Topology {
+    /// Builds a validated topology.
+    ///
+    /// # Errors
+    ///
+    /// See [`TopologyError`]: RF < 2, a quorum size outside `1..=rf`, or
+    /// non-intersecting quorums (R + W ≤ RF) are rejected.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dsnrep_cluster::{ReplicationStrategy, Topology};
+    ///
+    /// let t = Topology::new(3, ReplicationStrategy::Chain)?;
+    /// assert_eq!(t.rf(), 3);
+    /// assert!(Topology::new(3, ReplicationStrategy::Quorum { read: 1, write: 2 }).is_err());
+    /// assert!(Topology::new(3, ReplicationStrategy::Quorum { read: 2, write: 2 }).is_ok());
+    /// # Ok::<(), dsnrep_cluster::TopologyError>(())
+    /// ```
+    pub fn new(rf: u8, strategy: ReplicationStrategy) -> Result<Self, TopologyError> {
+        if rf < 2 {
+            return Err(TopologyError::ReplicationFactorTooSmall { rf });
+        }
+        if let ReplicationStrategy::Quorum { read, write } = strategy {
+            for size in [read, write] {
+                if size == 0 || size > rf {
+                    return Err(TopologyError::QuorumOutOfRange { size, rf });
+                }
+            }
+            if u16::from(read) + u16::from(write) <= u16::from(rf) {
+                return Err(TopologyError::QuorumsDoNotIntersect { read, write, rf });
+            }
+        }
+        Ok(Topology { rf, strategy })
+    }
+
+    /// The paper's two-node primary-backup pair.
+    pub fn pair() -> Self {
+        Topology {
+            rf: 2,
+            strategy: ReplicationStrategy::PrimaryBackup,
+        }
+    }
+
+    /// The replication factor.
+    pub fn rf(&self) -> u8 {
+        self.rf
+    }
+
+    /// The replication strategy.
+    pub fn strategy(&self) -> ReplicationStrategy {
+        self.strategy
+    }
+
+    /// The node ids `0..rf`, in seniority order. Node 0 is the initial
+    /// primary (or chain head); the chain tail is node `rf - 1`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.rf).map(NodeId::new)
+    }
+
+    /// The node the strategy serves reads from while the group is whole:
+    /// the tail for chain replication, the primary otherwise. (Quorum
+    /// reads consult R nodes; node 0 coordinates them.)
+    pub fn read_head(&self) -> NodeId {
+        match self.strategy {
+            ReplicationStrategy::Chain => NodeId::new(self.rf - 1),
+            _ => NodeId::new(0),
+        }
+    }
+
+    /// The membership view manager for this topology: node 0 primary,
+    /// nodes `1..rf` backups in seniority order.
+    pub fn view_manager(&self, at: VirtualInstant) -> ViewManager {
+        let backups = (1..self.rf).map(NodeId::new).collect();
+        ViewManager::new(NodeId::new(0), backups, at)
+    }
+
+    /// How many node failures the strategy masks without losing either
+    /// data or (for quorum) the ability to commit: RF−1 for
+    /// primary-backup and chain, RF−W for quorum (fewer live nodes than W
+    /// and writes can no longer assemble a quorum).
+    pub fn fault_tolerance(&self) -> u8 {
+        match self.strategy {
+            ReplicationStrategy::PrimaryBackup | ReplicationStrategy::Chain => self.rf - 1,
+            ReplicationStrategy::Quorum { write, .. } => self.rf - write,
+        }
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} rf={}", self.strategy, self.rf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_is_the_papers_shape() {
+        let t = Topology::pair();
+        assert_eq!(t.rf(), 2);
+        assert_eq!(t.strategy(), ReplicationStrategy::PrimaryBackup);
+        assert_eq!(t.fault_tolerance(), 1);
+        assert_eq!(t.read_head(), NodeId::new(0));
+    }
+
+    #[test]
+    fn rf_below_two_is_rejected() {
+        for rf in [0, 1] {
+            assert_eq!(
+                Topology::new(rf, ReplicationStrategy::PrimaryBackup),
+                Err(TopologyError::ReplicationFactorTooSmall { rf })
+            );
+        }
+    }
+
+    #[test]
+    fn quorum_shapes_are_validated() {
+        assert!(Topology::new(3, ReplicationStrategy::Quorum { read: 2, write: 2 }).is_ok());
+        assert!(Topology::new(5, ReplicationStrategy::Quorum { read: 2, write: 4 }).is_ok());
+        assert_eq!(
+            Topology::new(3, ReplicationStrategy::Quorum { read: 0, write: 2 }),
+            Err(TopologyError::QuorumOutOfRange { size: 0, rf: 3 })
+        );
+        assert_eq!(
+            Topology::new(3, ReplicationStrategy::Quorum { read: 2, write: 4 }),
+            Err(TopologyError::QuorumOutOfRange { size: 4, rf: 3 })
+        );
+        assert_eq!(
+            Topology::new(4, ReplicationStrategy::Quorum { read: 2, write: 2 }),
+            Err(TopologyError::QuorumsDoNotIntersect {
+                read: 2,
+                write: 2,
+                rf: 4
+            })
+        );
+    }
+
+    #[test]
+    fn chain_reads_from_the_tail() {
+        let t = Topology::new(4, ReplicationStrategy::Chain).unwrap();
+        assert_eq!(t.read_head(), NodeId::new(3));
+        assert_eq!(t.fault_tolerance(), 3);
+        let nodes: Vec<_> = t.nodes().collect();
+        assert_eq!(nodes.len(), 4);
+        assert_eq!(nodes[0], NodeId::new(0));
+    }
+
+    #[test]
+    fn view_manager_seeds_seniority_order() {
+        let t = Topology::new(3, ReplicationStrategy::PrimaryBackup).unwrap();
+        let m = t.view_manager(VirtualInstant::EPOCH);
+        assert_eq!(m.current().primary(), NodeId::new(0));
+        assert_eq!(m.current().backups(), &[NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(m.current().redundancy(), 3);
+        assert_eq!(m.configured_redundancy(), 3);
+    }
+
+    #[test]
+    fn quorum_fault_tolerance_is_rf_minus_w() {
+        let t = Topology::new(5, ReplicationStrategy::Quorum { read: 2, write: 4 }).unwrap();
+        assert_eq!(t.fault_tolerance(), 1);
+        let t = Topology::new(3, ReplicationStrategy::Quorum { read: 2, write: 2 }).unwrap();
+        assert_eq!(t.fault_tolerance(), 1);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(Topology::pair().to_string(), "primary-backup rf=2");
+        let t = Topology::new(3, ReplicationStrategy::Quorum { read: 2, write: 2 }).unwrap();
+        assert_eq!(t.to_string(), "quorum(r=2,w=2) rf=3");
+        let t = Topology::new(3, ReplicationStrategy::Chain).unwrap();
+        assert_eq!(t.to_string(), "chain rf=3");
+    }
+}

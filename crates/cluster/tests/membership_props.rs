@@ -18,8 +18,129 @@ fn event_strategy() -> impl Strategy<Value = Event> {
     ]
 }
 
+/// A reference model of the membership protocol: the member list in
+/// seniority order (primary first). Failing the primary must promote the
+/// next-most-senior member; joins append as most junior.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Model {
+    members: Vec<NodeId>,
+}
+
+impl Model {
+    fn new(rf: u8) -> Self {
+        Model {
+            members: (0..rf).map(NodeId::new).collect(),
+        }
+    }
+
+    /// Applies an event; returns whether the membership changed (and so a
+    /// new view must have been installed).
+    fn apply(&mut self, event: Event) -> bool {
+        match event {
+            Event::Fail(n) => {
+                let node = NodeId::new(n);
+                // A primary failure with no successor is rejected by the
+                // manager and leaves the view unchanged.
+                if self.members.first() == Some(&node) && self.members.len() == 1 {
+                    return false;
+                }
+                let before = self.members.len();
+                self.members.retain(|&m| m != node);
+                self.members.len() != before
+            }
+            Event::Join(n) => {
+                let node = NodeId::new(n);
+                if self.members.contains(&node) {
+                    return false;
+                }
+                self.members.push(node);
+                true
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Model-based check over clusters of N ≤ 8 nodes: epochs are
+    /// *strictly* monotone across installed views (and frozen otherwise —
+    /// duplicate joins and rejected failures install nothing), every
+    /// survivor replica computes the identical view from the same event
+    /// sequence, and the promoted primary is always the most senior live
+    /// backup of the previous view.
+    #[test]
+    fn n_node_sequences_agree_with_the_model(
+        rf in 2u8..=8,
+        events in prop::collection::vec(
+            prop_oneof![(0u8..10).prop_map(Event::Fail), (0u8..10).prop_map(Event::Join)],
+            1..80,
+        ),
+    ) {
+        let backups: Vec<_> = (1..rf).map(NodeId::new).collect();
+        let mut views = ViewManager::new(NodeId::new(0), backups.clone(), VirtualInstant::EPOCH);
+        // Survivor replicas: every node independently replays the same
+        // deterministic transition sequence and must land on the same view.
+        let mut replicas: Vec<ViewManager> = (0..rf)
+            .map(|_| ViewManager::new(NodeId::new(0), backups.clone(), VirtualInstant::EPOCH))
+            .collect();
+        let mut model = Model::new(rf);
+        let mut t = 0u64;
+        for event in events {
+            t += 1;
+            let at = VirtualInstant::from_picos(t);
+            let epoch_before = views.current().epoch();
+            let history_before = views.history().len();
+            let primary_before = views.current().primary();
+            let senior_backup = views.current().backups().first().copied();
+            let changed = model.apply(event);
+            match event {
+                Event::Fail(n) => {
+                    let r = views.fail(NodeId::new(n), at);
+                    for replica in &mut replicas {
+                        let _ = replica.fail(NodeId::new(n), at);
+                    }
+                    prop_assert_eq!(r.is_ok(), changed);
+                }
+                Event::Join(n) => {
+                    views.join(NodeId::new(n), at);
+                    for replica in &mut replicas {
+                        replica.join(NodeId::new(n), at);
+                    }
+                }
+            }
+            let view = views.current();
+            if changed {
+                // Strictly monotone epoch, exactly one history entry.
+                prop_assert_eq!(view.epoch(), epoch_before + 1);
+                prop_assert_eq!(views.history().len(), history_before + 1);
+            } else {
+                // No-op events (duplicate join, unknown/last-node failure)
+                // must freeze the epoch and the history.
+                prop_assert_eq!(view.epoch(), epoch_before);
+                prop_assert_eq!(views.history().len(), history_before);
+            }
+            // The installed view matches the model exactly: the model's
+            // senior member is the primary, the rest are the backups in
+            // seniority order.
+            prop_assert_eq!(view.primary(), model.members[0]);
+            prop_assert_eq!(view.backups(), &model.members[1..]);
+            prop_assert_eq!(view.redundancy(), model.members.len());
+            prop_assert_eq!(
+                views.is_degraded(),
+                model.members.len() < usize::from(rf)
+            );
+            // If the primary changed, the successor is the most senior
+            // live backup of the previous view.
+            if view.primary() != primary_before {
+                prop_assert_eq!(Some(view.primary()), senior_backup);
+            }
+            // Every survivor computed the identical view.
+            for replica in &replicas {
+                prop_assert_eq!(replica.current(), view);
+            }
+        }
+    }
 
     #[test]
     fn views_stay_consistent(events in prop::collection::vec(event_strategy(), 1..60)) {

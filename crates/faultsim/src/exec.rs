@@ -22,7 +22,9 @@ use dsnrep_cluster::{
 };
 use dsnrep_core::{arena_len, attach_engine, build_engine, Durability, EngineConfig, Machine};
 use dsnrep_obs::NullTracer;
-use dsnrep_repl::{ActiveCluster, ActiveTakeover, Failover, PassiveCluster, Takeover};
+use dsnrep_repl::{
+    modeled_pairs, ActiveCluster, ActiveTakeover, Failover, PassiveCluster, ReplicaSet, Takeover,
+};
 use dsnrep_rio::{Arena, Layout, RegionId};
 use dsnrep_simcore::{CostModel, Region, VirtualDuration, VirtualInstant};
 use dsnrep_workloads::TxCtx;
@@ -131,6 +133,10 @@ pub struct Outcome {
     pub recovery_writes: u64,
     /// Crash-to-serving outage in picoseconds, when a takeover happened.
     pub outage_ps: Option<u64>,
+    /// Commits whose chain/quorum acknowledgement set never assembled
+    /// (the head proceeded after a coordinator timeout). Nonzero only
+    /// for N-node drivers under partition faults.
+    pub degraded: u64,
     /// The broken invariant, if any.
     pub violation: Option<Violation>,
 }
@@ -147,6 +153,7 @@ impl Outcome {
             packets: 0,
             recovery_writes: 0,
             outage_ps: None,
+            degraded: 0,
             violation: None,
         }
     }
@@ -204,6 +211,30 @@ fn check_plan(scenario: &Scenario, plan: &FaultPlan) -> Result<(), PlanError> {
             return Err(PlanError::new(
                 "heartbeat faults need a cluster; the standalone driver has none",
             ));
+        }
+    }
+    match scenario.topology() {
+        Some(Ok(topology)) => {
+            let allowed = modeled_pairs(topology);
+            for (from, to) in plan.partition_pairs() {
+                if !allowed.contains(&(from, to)) {
+                    return Err(PlanError::new(format!(
+                        "partition {from}->{to} targets a pair the {topology} strategy \
+                         never moves packets over (modeled pairs: {allowed:?})"
+                    )));
+                }
+            }
+        }
+        Some(Err(e)) => {
+            return Err(PlanError::new(format!("scenario topology is invalid: {e}")));
+        }
+        None => {
+            if !plan.partition_pairs().is_empty() {
+                return Err(PlanError::new(
+                    "partition faults need a multi-link fabric; only the chain and quorum \
+                     drivers have one",
+                ));
+            }
         }
     }
     Ok(())
@@ -265,6 +296,7 @@ pub fn execute_against(
         Driver::Standalone => run_standalone(scenario, plan, reference, mutation),
         Driver::Passive => run_passive(scenario, plan, reference, mutation),
         Driver::Active => run_active(scenario, plan, reference, mutation),
+        Driver::Chain | Driver::Quorum => run_replica_set(scenario, plan, reference, mutation),
     })
 }
 
@@ -329,12 +361,14 @@ fn check_timeline(
     plan: &FaultPlan,
     crashed_at: VirtualInstant,
     recovery: VirtualDuration,
+    rf: u8,
 ) {
     let faults = HeartbeatFaults {
         delay: VirtualDuration::from_picos(plan.heartbeat_delay_ps()),
         drop_after: plan.heartbeat_drop_after(),
     };
-    let mut views = ViewManager::new(NodeId::new(0), vec![NodeId::new(1)], VirtualInstant::EPOCH);
+    let backups: Vec<NodeId> = (1..rf.max(2)).map(NodeId::new).collect();
+    let mut views = ViewManager::new(NodeId::new(0), backups, VirtualInstant::EPOCH);
     let timeline: TakeoverTimeline = match takeover_timeline_with_faults(
         HeartbeatConfig::default(),
         VirtualDuration::from_micros(3),
@@ -610,7 +644,7 @@ fn run_passive(
     let seq = out.recovered;
     check_image(&mut out, reference, &arena, db, seq, true);
     if out.violation.is_none() {
-        check_timeline(&mut out, plan, crashed_at, failover.recovery_time);
+        check_timeline(&mut out, plan, crashed_at, failover.recovery_time, 2);
     }
     out
 }
@@ -770,7 +804,161 @@ fn run_active(
     let seq = out.recovered;
     check_image(&mut out, reference, &arena, db, seq, false);
     if out.violation.is_none() {
-        check_timeline(&mut out, plan, crashed_at, failover.recovery_time);
+        check_timeline(&mut out, plan, crashed_at, failover.recovery_time, 2);
+    }
+    out
+}
+
+fn run_replica_set(
+    scenario: &Scenario,
+    plan: &FaultPlan,
+    reference: &Reference,
+    mutation: Option<Mutation>,
+) -> Outcome {
+    let mut out = Outcome::new(scenario, plan);
+    let costs = CostModel::alpha_21164a();
+    let config = EngineConfig::for_db(scenario.db_len);
+    let topology = scenario
+        .topology()
+        .expect("chain/quorum drivers have a topology")
+        .expect("check_plan validated the topology");
+    let mut set = ReplicaSet::new(costs.clone(), scenario.version, &config, topology);
+    for (from, to, ps) in plan.partition_delays() {
+        set.partition_delay(from, to, VirtualDuration::from_picos(ps));
+    }
+    for (from, to, n) in plan.partition_drops() {
+        set.partition_drop_after(from, to, n);
+    }
+    let db = set.engine().db_region();
+    let mut workload = scenario.workload.build(db, scenario.seed);
+
+    let site = plan.primary_crash();
+    match site {
+        Some(FaultSite::Store(n)) => set.machine_mut().inject_crash_after_stores(n),
+        Some(FaultSite::Packet(n)) => set.machine_mut().inject_crash_after_packets(n),
+        _ => {}
+    }
+    let crash_txn = match site {
+        Some(FaultSite::Txn(n)) => Some(n),
+        _ => None,
+    };
+    let stores_before = set.machine().stores_executed();
+    let packets_before = set.machine().packets_emitted();
+    let ok = run_txn_loop(&mut out, scenario.txns, crash_txn, || {
+        set.run_txn(workload.as_mut());
+        Ok(())
+    });
+    out.stores = set.machine().stores_executed() - stores_before;
+    out.packets = set.machine().packets_emitted() - packets_before;
+    if !ok {
+        return out;
+    }
+
+    if site.is_none() {
+        set.quiesce();
+        out.degraded = set.degraded_commits();
+        out.recovered = out.committed;
+        // Chain and quorum heads run 2-safe toward node 1: its image is
+        // exact at every graceful boundary, partitions or not.
+        let node1 = Rc::clone(set.replica_arena(1));
+        let seq = out.recovered;
+        check_image(&mut out, reference, &node1, db, seq, false);
+        // Without partitions, every further replica converges too.
+        if out.violation.is_none() && plan.partition_pairs().is_empty() {
+            for node in 2..scenario.rf {
+                let arena = Rc::clone(set.replica_arena(node));
+                check_image(&mut out, reference, &arena, db, seq, false);
+                if out.violation.is_some() {
+                    break;
+                }
+            }
+        }
+        return out;
+    }
+
+    set.machine_mut().clear_fault();
+    set.machine_mut().clear_packet_fault();
+    out.degraded = set.degraded_commits();
+    let replica_takeover = set.begin_takeover();
+    let crashed_at = replica_takeover.crashed_at;
+    let mut takeover = Some(replica_takeover.takeover);
+    let mut failover: Option<Failover> = None;
+    for budget in plan.recovery_crashes() {
+        let t = takeover
+            .take()
+            .expect("the takeover survives until a failover exists");
+        let arena = t.arena();
+        let at = t.now();
+        apply_mutation(mutation, &arena);
+        let writes_before = arena.borrow().writes();
+        arena.borrow_mut().inject_halt_after_writes(budget);
+        let result = run_caught(move || t.recover());
+        arena.borrow_mut().clear_halt();
+        match result {
+            Ok(f) => {
+                out.recovery_writes = arena.borrow().writes() - writes_before;
+                failover = Some(f);
+                break;
+            }
+            Err(msg) if is_fault(&msg) => {
+                out.faults_fired += 1;
+                takeover = Some(Takeover::resume(
+                    scenario.version,
+                    costs.clone(),
+                    Rc::clone(&arena),
+                    NullTracer,
+                    at,
+                ));
+            }
+            Err(msg) => {
+                out.violation = Some(Violation::UnexpectedPanic(msg));
+                return out;
+            }
+        }
+    }
+    let failover = match failover {
+        Some(f) => f,
+        None => {
+            let t = takeover
+                .take()
+                .expect("no failover yet, so the takeover survived");
+            let arena = t.arena();
+            apply_mutation(mutation, &arena);
+            let writes_before = arena.borrow().writes();
+            match run_caught(move || t.recover()) {
+                Ok(f) => {
+                    out.recovery_writes = arena.borrow().writes() - writes_before;
+                    f
+                }
+                Err(msg) => {
+                    out.violation = Some(Violation::UnexpectedPanic(msg));
+                    return out;
+                }
+            }
+        }
+    };
+    out.recovered = failover.report.committed_seq;
+    // Chain and quorum commits are 2-safe: nothing committed is ever
+    // lost, partitions included, and at most the in-flight transaction
+    // may have committed past the loop's count.
+    if out.recovered < out.committed || out.recovered > out.committed + 1 {
+        out.violation = Some(Violation::SequenceDrift {
+            recovered: out.recovered,
+            committed: out.committed,
+        });
+        return out;
+    }
+    let arena = Rc::clone(failover.machine.arena());
+    let seq = out.recovered;
+    check_image(&mut out, reference, &arena, db, seq, true);
+    if out.violation.is_none() {
+        check_timeline(
+            &mut out,
+            plan,
+            crashed_at,
+            failover.recovery_time,
+            scenario.rf,
+        );
     }
     out
 }

@@ -6,6 +6,7 @@
 //! minimal [`FaultPlan`] and reported as a [`Counterexample`] carrying a
 //! copy-pasteable regression test.
 
+use dsnrep_repl::modeled_pairs;
 use dsnrep_simcore::SplitMix64;
 
 use crate::exec::{execute_against, Mutation, Violation};
@@ -98,6 +99,11 @@ pub struct Campaign {
     pub recovery_sites: u64,
     /// Plans that distorted the heartbeat path (delay or drop).
     pub heartbeat_faults: u64,
+    /// Plans that partitioned a fabric pair (delay or drop).
+    pub partition_faults: u64,
+    /// Commits that proceeded degraded (ack set never assembled) across
+    /// all plans.
+    pub degraded_commits: u64,
     /// The worst crash-to-serving outage observed, in picoseconds.
     pub max_outage_ps: u64,
     /// The probe counts the sweep was derived from.
@@ -117,6 +123,8 @@ impl Campaign {
             txn_sites: 0,
             recovery_sites: 0,
             heartbeat_faults: 0,
+            partition_faults: 0,
+            degraded_commits: 0,
             max_outage_ps: 0,
             probe,
             counterexamples: Vec::new(),
@@ -148,6 +156,10 @@ impl Campaign {
         if plan.heartbeat_delay_ps() > 0 || plan.heartbeat_drop_after().is_some() {
             self.heartbeat_faults += 1;
         }
+        if !plan.partition_pairs().is_empty() {
+            self.partition_faults += 1;
+        }
+        self.degraded_commits += outcome.degraded;
         if let Some(outage) = outcome.outage_ps {
             self.max_outage_ps = self.max_outage_ps.max(outage);
         }
@@ -217,21 +229,51 @@ pub fn exhaustive_single_fault(
     Ok(campaign)
 }
 
-fn random_plan(rng: &mut SplitMix64, scenario: &Scenario, probe: &Probe) -> FaultPlan {
-    let mut events = Vec::new();
-    // Always crash the primary somewhere: fault-free runs are covered by
-    // the probe, and every other event depends on a takeover.
+fn random_site(rng: &mut SplitMix64, scenario: &Scenario, probe: &Probe) -> FaultSite {
     let site_kinds = if scenario.driver == Driver::Standalone {
         2
     } else {
         3
     };
-    let site = match rng.next_below(site_kinds) {
+    match rng.next_below(site_kinds) {
         0 => FaultSite::Store(rng.next_below(probe.stores.max(1))),
         1 => FaultSite::Txn(rng.next_below(scenario.txns + 1)),
         _ => FaultSite::Packet(rng.next_below(probe.packets.max(1))),
-    };
-    events.push(FaultEvent::CrashPrimary(site));
+    }
+}
+
+/// The directed pairs `scenario`'s strategy moves packets over (empty for
+/// non-fabric drivers).
+fn fabric_pairs(scenario: &Scenario) -> Vec<(u8, u8)> {
+    match scenario.topology() {
+        Some(Ok(topology)) => modeled_pairs(topology),
+        _ => Vec::new(),
+    }
+}
+
+fn random_partition(rng: &mut SplitMix64, pairs: &[(u8, u8)], probe: &Probe) -> FaultEvent {
+    let (from, to) = pairs[rng.next_below(pairs.len() as u64) as usize];
+    if rng.next_below(2) == 0 {
+        // Up to 500 us of extra one-way delay.
+        FaultEvent::PartitionDelay {
+            from,
+            to,
+            ps: (rng.next_below(500) + 1) * 1_000_000,
+        }
+    } else {
+        FaultEvent::PartitionDropAfter {
+            from,
+            to,
+            n: rng.next_below(probe.packets + 1),
+        }
+    }
+}
+
+fn random_plan(rng: &mut SplitMix64, scenario: &Scenario, probe: &Probe) -> FaultPlan {
+    let mut events = Vec::new();
+    // Always crash the primary somewhere: fault-free runs are covered by
+    // the probe, and every other event depends on a takeover.
+    events.push(FaultEvent::CrashPrimary(random_site(rng, scenario, probe)));
     // Half the plans also crash recovery, a quarter twice (double and
     // triple faults). Budgets range past the observed recovery length so
     // some armed faults never fire — that path must stay correct too.
@@ -258,6 +300,10 @@ fn random_plan(rng: &mut SplitMix64, scenario: &Scenario, probe: &Probe) -> Faul
             events.push(FaultEvent::DropHeartbeatsAfter(rng.next_below(32)));
         }
     }
+    let pairs = fabric_pairs(scenario);
+    if !pairs.is_empty() && rng.next_below(4) == 0 {
+        events.push(random_partition(rng, &pairs, probe));
+    }
     FaultPlan::new(events)
 }
 
@@ -280,6 +326,44 @@ pub fn random_campaign(
     for _ in 0..plans {
         let plan = random_plan(&mut rng, scenario, &probe);
         campaign.run_plan(&reference, plan, mutation)?;
+    }
+    Ok(campaign)
+}
+
+/// Explores `plans` seeded schedules of `scenario` in which *every* plan
+/// partitions at least one fabric pair — half of them also crash the
+/// primary mid-partition. This is the campaign that exercises degraded
+/// commits (graceful runs under an unreachable ack set) and
+/// partition-plus-crash interplay.
+///
+/// # Errors
+///
+/// Returns a [`PlanError`] if the scenario's driver has no fabric (only
+/// chain and quorum do), or if the probe runs fail.
+pub fn partition_campaign(
+    scenario: &Scenario,
+    seed: u64,
+    plans: u64,
+    mutation: Option<Mutation>,
+) -> Result<Campaign, PlanError> {
+    let pairs = fabric_pairs(scenario);
+    if pairs.is_empty() {
+        return Err(PlanError::new(
+            "partition campaigns need a chain or quorum scenario",
+        ));
+    }
+    let reference = Reference::build(scenario);
+    let probe = probe(scenario, &reference)?;
+    let mut campaign = Campaign::new(scenario, probe);
+    let mut rng = SplitMix64::new(seed);
+    for _ in 0..plans {
+        let mut events = vec![random_partition(&mut rng, &pairs, &probe)];
+        if rng.next_below(2) == 0 {
+            events.push(FaultEvent::CrashPrimary(random_site(
+                &mut rng, scenario, &probe,
+            )));
+        }
+        campaign.run_plan(&reference, FaultPlan::new(events), mutation)?;
     }
     Ok(campaign)
 }

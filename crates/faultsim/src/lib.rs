@@ -64,7 +64,8 @@ mod shrink;
 
 pub use exec::{execute, execute_against, silence_fault_panics, Mutation, Outcome, Violation};
 pub use explore::{
-    exhaustive_single_fault, probe, random_campaign, Campaign, Counterexample, Probe,
+    exhaustive_single_fault, partition_campaign, probe, random_campaign, Campaign, Counterexample,
+    Probe,
 };
 pub use oracle::{Reference, TAIL_WINDOW};
 pub use plan::{FaultEvent, FaultPlan, FaultSite, PlanError};

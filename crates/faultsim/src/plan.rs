@@ -11,6 +11,8 @@
 //! crash backup @ recovery-write=12
 //! delay heartbeats=40000000ps
 //! drop heartbeats after=10
+//! partition 1->2 delay=40000ps
+//! partition 1->2 drop after=3
 //! ```
 //!
 //! `FromStr` and `Display` round-trip exactly: a plan printed by the
@@ -51,6 +53,28 @@ pub enum FaultEvent {
     /// Drop every heartbeat after the first `n` emissions (a wedged
     /// primary that stops beating before it stops serving).
     DropHeartbeatsAfter(u64),
+    /// Delay every delivery on one directed fabric pair by this many
+    /// picoseconds (an asymmetric, congested inter-node path). Only
+    /// meaningful for N-node drivers whose strategy moves packets over
+    /// that pair.
+    PartitionDelay {
+        /// Sending node.
+        from: u8,
+        /// Receiving node.
+        to: u8,
+        /// Extra delivery delay, picoseconds.
+        ps: u64,
+    },
+    /// Swallow every packet on one directed fabric pair after the first
+    /// `n` (a link that silently dies mid-run; the sender cannot tell).
+    PartitionDropAfter {
+        /// Sending node.
+        from: u8,
+        /// Receiving node.
+        to: u8,
+        /// Packets allowed through before the drop starts.
+        n: u64,
+    },
 }
 
 impl fmt::Display for FaultEvent {
@@ -68,6 +92,12 @@ impl fmt::Display for FaultEvent {
             }
             FaultEvent::DelayHeartbeats(ps) => write!(f, "delay heartbeats={ps}ps"),
             FaultEvent::DropHeartbeatsAfter(n) => write!(f, "drop heartbeats after={n}"),
+            FaultEvent::PartitionDelay { from, to, ps } => {
+                write!(f, "partition {from}->{to} delay={ps}ps")
+            }
+            FaultEvent::PartitionDropAfter { from, to, n } => {
+                write!(f, "partition {from}->{to} drop after={n}")
+            }
         }
     }
 }
@@ -148,6 +178,41 @@ impl FromStr for FaultEvent {
             return Ok(FaultEvent::DropHeartbeatsAfter(parse_u64(
                 clause, "counter", rest,
             )?));
+        }
+        if let Some(rest) = clause.strip_prefix("partition ") {
+            let (pair, effect) = rest.trim().split_once(' ').ok_or_else(|| {
+                PlanError::new(format!(
+                    "fault plan clause `{clause}`: expected `partition <from>-><to> <effect>`"
+                ))
+            })?;
+            let (from, to) = pair.split_once("->").ok_or_else(|| {
+                PlanError::new(format!(
+                    "fault plan clause `{clause}`: pair must be `<from>-><to>`"
+                ))
+            })?;
+            let from = u8::try_from(parse_u64(clause, "node", from)?).map_err(|_| {
+                PlanError::new(format!("fault plan clause `{clause}`: node out of range"))
+            })?;
+            let to = u8::try_from(parse_u64(clause, "node", to)?).map_err(|_| {
+                PlanError::new(format!("fault plan clause `{clause}`: node out of range"))
+            })?;
+            let effect = effect.trim();
+            if let Some(value) = effect.strip_prefix("delay=") {
+                let value = value.trim().strip_suffix("ps").ok_or_else(|| {
+                    PlanError::new(format!(
+                        "fault plan clause `{clause}`: delay needs a `ps` suffix"
+                    ))
+                })?;
+                let ps = parse_u64(clause, "duration", value)?;
+                return Ok(FaultEvent::PartitionDelay { from, to, ps });
+            }
+            if let Some(value) = effect.strip_prefix("drop after=") {
+                let n = parse_u64(clause, "counter", value)?;
+                return Ok(FaultEvent::PartitionDropAfter { from, to, n });
+            }
+            return Err(PlanError::new(format!(
+                "fault plan clause `{clause}`: unknown partition effect `{effect}`"
+            )));
         }
         Err(PlanError::new(format!(
             "fault plan clause `{clause}`: unrecognized event"
@@ -232,9 +297,48 @@ impl FaultPlan {
             .min()
     }
 
+    /// The partition delays, in schedule order, as `(from, to, ps)`.
+    /// Repeats on one pair accumulate.
+    pub fn partition_delays(&self) -> Vec<(u8, u8, u64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::PartitionDelay { from, to, ps } => Some((*from, *to, *ps)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The partition drop thresholds, in schedule order, as
+    /// `(from, to, n)`. The smallest threshold on a pair wins.
+    pub fn partition_drops(&self) -> Vec<(u8, u8, u64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::PartitionDropAfter { from, to, n } => Some((*from, *to, *n)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The directed pairs any partition event targets, in schedule order
+    /// (duplicates preserved).
+    pub fn partition_pairs(&self) -> Vec<(u8, u8)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::PartitionDelay { from, to, .. }
+                | FaultEvent::PartitionDropAfter { from, to, .. } => Some((*from, *to)),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Checks internal consistency: at most one primary crash; backup
     /// recovery crashes and heartbeat faults only make sense when a
-    /// primary crash triggers a takeover.
+    /// primary crash triggers a takeover. Partition events are allowed
+    /// without a crash (they degrade graceful runs too); whether the
+    /// targeted pair exists is driver-dependent and checked at run time.
     ///
     /// # Errors
     ///
@@ -310,6 +414,16 @@ mod tests {
             FaultEvent::CrashBackupRecoveryWrite(0),
             FaultEvent::DelayHeartbeats(40_000_000),
             FaultEvent::DropHeartbeatsAfter(10),
+            FaultEvent::PartitionDelay {
+                from: 1,
+                to: 2,
+                ps: 40_000,
+            },
+            FaultEvent::PartitionDropAfter {
+                from: 2,
+                to: 0,
+                n: 3,
+            },
         ]);
         let text = plan.to_string();
         assert_eq!(text.parse::<FaultPlan>().unwrap(), plan);
@@ -336,6 +450,10 @@ mod tests {
             "crash backup @ store=1",
             "delay heartbeats=40",
             "reboot the rack",
+            "partition 1->2 sever",
+            "partition 1=>2 delay=40ps",
+            "partition 999->2 delay=40ps",
+            "partition 1->2 delay=40",
         ] {
             let err = bad.parse::<FaultPlan>().unwrap_err();
             assert!(err.message().contains("fault plan clause"), "{bad}: {err}");
@@ -370,5 +488,17 @@ mod tests {
         assert_eq!(plan.recovery_crashes(), vec![4, 1]);
         assert_eq!(plan.heartbeat_delay_ps(), 500);
         assert_eq!(plan.heartbeat_drop_after(), Some(7));
+    }
+
+    #[test]
+    fn partitions_are_valid_without_a_crash_and_partition_the_schedule() {
+        let plan: FaultPlan = "partition 0->2 delay=40000ps; partition 2->0 drop after=5"
+            .parse()
+            .unwrap();
+        assert!(plan.validate().is_ok(), "partitions degrade graceful runs");
+        assert_eq!(plan.partition_delays(), vec![(0, 2, 40_000)]);
+        assert_eq!(plan.partition_drops(), vec![(2, 0, 5)]);
+        assert_eq!(plan.partition_pairs(), vec![(0, 2), (2, 0)]);
+        assert_eq!(plan.to_string().parse::<FaultPlan>().unwrap(), plan);
     }
 }

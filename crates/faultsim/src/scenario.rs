@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use dsnrep_cluster::{ReplicationStrategy, Topology, TopologyError};
 use dsnrep_core::VersionTag;
 use dsnrep_workloads::WorkloadKind;
 
@@ -16,6 +17,12 @@ pub enum Driver {
     /// [`ActiveCluster`](dsnrep_repl::ActiveCluster): redo shipping,
     /// polling backup CPU (always Version 3 on the primary).
     Active,
+    /// [`ReplicaSet`](dsnrep_repl::ReplicaSet) running chain replication
+    /// at the scenario's RF.
+    Chain,
+    /// [`ReplicaSet`](dsnrep_repl::ReplicaSet) running R/W quorum
+    /// replication at the scenario's RF.
+    Quorum,
 }
 
 impl Driver {
@@ -25,6 +32,8 @@ impl Driver {
             Driver::Standalone => "standalone",
             Driver::Passive => "passive",
             Driver::Active => "active",
+            Driver::Chain => "chain",
+            Driver::Quorum => "quorum",
         }
     }
 }
@@ -56,6 +65,13 @@ pub struct Scenario {
     /// Run commits 2-safe (active driver only; passive/standalone runs
     /// are 1-safe like the paper's measurements).
     pub two_safe: bool,
+    /// Replication factor (node count). 2 for the classic pair drivers;
+    /// ≥ 2 for [`Driver::Chain`] and [`Driver::Quorum`].
+    pub rf: u8,
+    /// Read-quorum size ([`Driver::Quorum`] only, 0 otherwise).
+    pub quorum_read: u8,
+    /// Write-quorum size ([`Driver::Quorum`] only, 0 otherwise).
+    pub quorum_write: u8,
 }
 
 impl Scenario {
@@ -75,6 +91,9 @@ impl Scenario {
             db_len,
             seed: 0xD5,
             two_safe: false,
+            rf: 2,
+            quorum_read: 0,
+            quorum_write: 0,
         }
     }
 
@@ -91,6 +110,52 @@ impl Scenario {
         Scenario {
             driver: Driver::Active,
             ..Scenario::standalone(VersionTag::ImprovedLog, workload)
+        }
+    }
+
+    /// A small chain-replication scenario at replication factor `rf`.
+    pub fn chain(version: VersionTag, workload: WorkloadKind, rf: u8) -> Self {
+        Scenario {
+            driver: Driver::Chain,
+            rf,
+            ..Scenario::standalone(version, workload)
+        }
+    }
+
+    /// A small R/W-quorum scenario at replication factor `rf`.
+    pub fn quorum(
+        version: VersionTag,
+        workload: WorkloadKind,
+        rf: u8,
+        read: u8,
+        write: u8,
+    ) -> Self {
+        Scenario {
+            driver: Driver::Quorum,
+            rf,
+            quorum_read: read,
+            quorum_write: write,
+            ..Scenario::standalone(version, workload)
+        }
+    }
+
+    /// The N-node [`Topology`] this scenario runs, when its driver is a
+    /// [`ReplicaSet`](dsnrep_repl::ReplicaSet) one.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`TopologyError`] for an invalid RF or quorum sizes.
+    pub fn topology(&self) -> Option<Result<Topology, TopologyError>> {
+        match self.driver {
+            Driver::Chain => Some(Topology::new(self.rf, ReplicationStrategy::Chain)),
+            Driver::Quorum => Some(Topology::new(
+                self.rf,
+                ReplicationStrategy::Quorum {
+                    read: self.quorum_read,
+                    write: self.quorum_write,
+                },
+            )),
+            _ => None,
         }
     }
 
@@ -121,20 +186,28 @@ impl Scenario {
     }
 
     /// A stable, filesystem- and `simdiff`-safe label:
-    /// `passive-v1-debit-credit`. No dots (the flattened metric paths in
-    /// `faultcov.json` use dots as separators).
+    /// `passive-v1-debit-credit`, `chain-v3-debit-credit-rf3`,
+    /// `quorum-v3-debit-credit-rf3-r2w2`. No dots (the flattened metric
+    /// paths in `faultcov.json` use dots as separators), and the classic
+    /// pair drivers keep their pre-RF labels byte-identical.
     pub fn label(&self) -> String {
         let workload = match self.workload {
             WorkloadKind::DebitCredit => "debit-credit",
             WorkloadKind::OrderEntry => "order-entry",
         };
         let safety = if self.two_safe { "-2safe" } else { "" };
+        let shape = match self.driver {
+            Driver::Chain => format!("-rf{}", self.rf),
+            Driver::Quorum => format!("-rf{}-r{}w{}", self.rf, self.quorum_read, self.quorum_write),
+            _ => String::new(),
+        };
         format!(
-            "{}-v{}-{}{}",
+            "{}-v{}-{}{}{}",
             self.driver.label(),
             self.version_index(),
             workload,
-            safety
+            safety,
+            shape
         )
     }
 }
@@ -166,5 +239,18 @@ mod tests {
         let mut two = a;
         two.two_safe = true;
         assert_eq!(two.label(), "active-v3-order-entry-2safe");
+    }
+
+    #[test]
+    fn n_node_labels_carry_the_shape() {
+        let c = Scenario::chain(VersionTag::ImprovedLog, WorkloadKind::DebitCredit, 3);
+        assert_eq!(c.label(), "chain-v3-debit-credit-rf3");
+        let q = Scenario::quorum(VersionTag::ImprovedLog, WorkloadKind::DebitCredit, 3, 2, 2);
+        assert_eq!(q.label(), "quorum-v3-debit-credit-rf3-r2w2");
+        assert!(c.topology().unwrap().is_ok());
+        assert!(q.topology().unwrap().is_ok());
+        // Non-intersecting quorums are rejected by the topology layer.
+        let bad = Scenario::quorum(VersionTag::ImprovedLog, WorkloadKind::DebitCredit, 3, 1, 1);
+        assert!(bad.topology().unwrap().is_err());
     }
 }

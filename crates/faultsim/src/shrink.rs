@@ -34,7 +34,9 @@ fn event_counter(event: FaultEvent) -> Option<u64> {
         | FaultEvent::CrashPrimary(FaultSite::Txn(n))
         | FaultEvent::CrashBackupRecoveryWrite(n)
         | FaultEvent::DelayHeartbeats(n)
-        | FaultEvent::DropHeartbeatsAfter(n) => Some(n),
+        | FaultEvent::DropHeartbeatsAfter(n)
+        | FaultEvent::PartitionDelay { ps: n, .. }
+        | FaultEvent::PartitionDropAfter { n, .. } => Some(n),
     }
 }
 
@@ -50,6 +52,12 @@ fn with_counter(event: FaultEvent, n: u64) -> FaultEvent {
         FaultEvent::CrashBackupRecoveryWrite(_) => FaultEvent::CrashBackupRecoveryWrite(n),
         FaultEvent::DelayHeartbeats(_) => FaultEvent::DelayHeartbeats(n),
         FaultEvent::DropHeartbeatsAfter(_) => FaultEvent::DropHeartbeatsAfter(n),
+        FaultEvent::PartitionDelay { from, to, .. } => {
+            FaultEvent::PartitionDelay { from, to, ps: n }
+        }
+        FaultEvent::PartitionDropAfter { from, to, .. } => {
+            FaultEvent::PartitionDropAfter { from, to, n }
+        }
     }
 }
 
@@ -143,6 +151,9 @@ fn shrunk_fault_plan_regression() {{
         db_len: {db_len},
         seed: {seed:#x},
         two_safe: {two_safe},
+        rf: {rf},
+        quorum_read: {quorum_read},
+        quorum_write: {quorum_write},
     }};
     let plan: FaultPlan = "{plan}".parse().unwrap();
     let outcome = execute(&scenario, &plan).unwrap();
@@ -157,6 +168,9 @@ fn shrunk_fault_plan_regression() {{
         db_len = scenario.db_len,
         seed = scenario.seed,
         two_safe = scenario.two_safe,
+        rf = scenario.rf,
+        quorum_read = scenario.quorum_read,
+        quorum_write = scenario.quorum_write,
         plan = plan,
     )
 }

@@ -51,14 +51,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod fabric;
 mod link;
 mod port;
 mod stride;
 mod traffic;
 mod wbuf;
 
+pub use fabric::{Fabric, PairKey};
 pub use link::{Link, PacketTiming};
-pub use port::TxPort;
+pub use port::{PacketTap, TappedPacket, TxPort};
 pub use stride::{figure1_sweep, measure_stride_bandwidth, measure_write_latency, BandwidthPoint};
 pub use traffic::Traffic;
 pub use wbuf::{DirtyRuns, FlushedBuffer, WbufStats, WriteBufferSet, BLOCK};

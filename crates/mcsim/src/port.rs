@@ -23,7 +23,7 @@ use dsnrep_simcore::{
     VirtualInstant,
 };
 
-use crate::link::Link;
+use crate::link::{Link, PacketTiming};
 use crate::wbuf::{span_mask, FlushedBuffer, WriteBufferSet, BLOCK};
 
 #[derive(Clone, Copy, Debug)]
@@ -44,6 +44,29 @@ struct Delivery {
 const fn packet_id(track: u32, seq: u64) -> u64 {
     ((track as u64) << 40) | (seq & ((1 << 40) - 1))
 }
+
+/// One packet recorded by a [`TxPort`] tap: the full first-hop timing plus
+/// everything a downstream replication stage (chain forwarding, quorum
+/// fan-out) needs to re-send the same payload over further links. Taps are
+/// pure observers — installing one changes no timing and no delivery.
+#[derive(Clone, Copy, Debug)]
+pub struct TappedPacket {
+    /// The packet's service timing on the port's own link.
+    pub timing: PacketTiming,
+    /// Base address of the 32-byte block the packet carries.
+    pub base: Addr,
+    /// Dirty-byte mask within the block.
+    pub mask: u32,
+    /// The block payload (only masked bytes are meaningful).
+    pub data: [u8; BLOCK as usize],
+    /// Payload bytes per traffic class.
+    pub class_bytes: [u64; 3],
+    /// The transaction whose store issued the packet, or [`NO_TXN`].
+    pub txn: u64,
+}
+
+/// The shared recording target of a [`TxPort`] tap.
+pub type PacketTap = Rc<RefCell<Vec<TappedPacket>>>;
 
 /// The packet-emission half of a [`TxPort`]: link access, posted-write
 /// flow control, and the in-flight delivery queue. Split from the write
@@ -75,6 +98,9 @@ struct Emitter<T: Tracer> {
     /// The track whose arena receives this port's packets (apply records
     /// land there).
     peer_track: u32,
+    /// Optional pure-observer tap: every emitted packet is copied here
+    /// (payload + first-hop timing) for multi-hop replication stages.
+    tap: Option<PacketTap>,
 }
 
 impl<T: Tracer> Emitter<T> {
@@ -132,6 +158,16 @@ impl<T: Tracer> Emitter<T> {
             .link
             .borrow_mut()
             .send_mixed(clock.now(), flushed.class_bytes);
+        if let Some(tap) = &self.tap {
+            tap.borrow_mut().push(TappedPacket {
+                timing,
+                base: flushed.base,
+                mask: flushed.mask,
+                data: flushed.data,
+                class_bytes: flushed.class_bytes,
+                txn: self.current_txn,
+            });
+        }
         self.tracer
             .packet(self.track, timing.start, flushed.class_bytes);
         self.outstanding.push_back((timing.done, payload));
@@ -292,6 +328,7 @@ impl<T: Tracer> TxPort<T> {
                 packet_budget: None,
                 current_txn: NO_TXN,
                 peer_track: TRACK_BACKUP,
+                tap: None,
             },
         }
     }
@@ -532,6 +569,20 @@ impl<T: Tracer> TxPort<T> {
     /// The shared link (for reading traffic statistics).
     pub fn link(&self) -> &Rc<RefCell<Link>> {
         &self.tx.link
+    }
+
+    /// Installs a pure-observer tap: from now on every emitted packet is
+    /// also copied (payload + first-hop timing) into `tap`. Multi-hop
+    /// replication drivers (chain forwarding, quorum fan-out) read the tap
+    /// to re-send the same payloads over further fabric links. A tap never
+    /// changes timing, accounting, or delivery on this port.
+    pub fn set_tap(&mut self, tap: PacketTap) {
+        self.tx.tap = Some(tap);
+    }
+
+    /// Removes an installed tap.
+    pub fn clear_tap(&mut self) {
+        self.tx.tap = None;
     }
 
     /// [`StoreSink::store`] minus the trailing delivery drain: issue-time

@@ -12,6 +12,9 @@
 //!   control.
 //! * [`SmpExperiment`] — N independent primary streams on one SMP sharing
 //!   one SAN link (paper §8, Figures 2 and 3).
+//! * [`ReplicaSet`] — the N-node generalization: an RF ≥ 2 cluster over a
+//!   multi-link fabric running primary-backup fan-out, chain, or R/W
+//!   quorum replication (see `dsnrep-cluster`'s `Topology`).
 //!
 //! All three expose crash/failover entry points used by the failure
 //! injection tests and by `dsnrep-cluster`'s takeover orchestration.
@@ -45,8 +48,10 @@
 
 mod active;
 mod passive;
+mod replica_set;
 mod smp;
 
 pub use active::{ActiveCluster, ActivePrimaryEngine, ActiveTakeover, BackupNode};
 pub use passive::{Failover, PassiveCluster, Takeover};
+pub use replica_set::{modeled_pairs, ReplicaSet, ReplicaTakeover};
 pub use smp::{Scheme, SmpExperiment, SmpReport};

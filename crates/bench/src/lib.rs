@@ -19,6 +19,7 @@ pub mod diff;
 pub mod experiments;
 pub mod faultcov;
 pub mod json;
+pub mod openlat;
 pub mod paper;
 mod report;
 pub mod trace;

@@ -17,6 +17,7 @@ use dsnrep_simcore::{NodeId, Periodic, Scheduler, StallCause, VirtualDuration, V
 use dsnrep_workloads::{ThroughputReport, WorkloadKind};
 
 use crate::experiments::{costs, SEED};
+use crate::openlat::OpenSystemStats;
 
 /// Which replication scheme a traced run drives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -228,6 +229,12 @@ pub struct AvailabilityReport {
     pub first_commit_after_recovery_picos: Option<u64>,
     /// `first_commit_after_recovery_picos - recovery_start_picos`.
     pub time_to_first_commit_picos: Option<u64>,
+    /// What an open-system arrival stream experienced (latency
+    /// percentiles, drops, SLO windows): filled by the `openlat` driver,
+    /// `None` for closed-loop traced runs — and omitted from the JSON, so
+    /// closed-run artifacts are byte-identical to before the section
+    /// existed.
+    pub open_system: Option<OpenSystemStats>,
 }
 
 impl AvailabilityReport {
@@ -282,6 +289,7 @@ impl AvailabilityReport {
             recovery_start_picos,
             first_commit_after_recovery_picos,
             time_to_first_commit_picos,
+            open_system: None,
         }
     }
 
@@ -319,12 +327,45 @@ impl AvailabilityReport {
             "],\n  \"recovery\": {{\n    \"crash_picos\": {},\n    \
              \"recovery_start_picos\": {},\n    \
              \"first_commit_after_recovery_picos\": {},\n    \
-             \"time_to_first_commit_picos\": {}\n  }}\n}}\n",
+             \"time_to_first_commit_picos\": {}\n  }}",
             opt(self.crash_picos),
             opt(self.recovery_start_picos),
             opt(self.first_commit_after_recovery_picos),
             opt(self.time_to_first_commit_picos)
         );
+        if let Some(os) = &self.open_system {
+            let _ = write!(
+                out,
+                ",\n  \"open_system\": {{\n    \"slo_picos\": {},\n    \
+                 \"arrivals\": {},\n    \"dropped\": {},\n    \
+                 \"stale_reads\": {},\n    \"max_staleness_txns\": {},\n    \
+                 \"commit_latency\": {},\n    \"read_latency\": {},\n    \
+                 \"slo_violation_windows\": [",
+                os.slo_picos,
+                os.arrivals,
+                os.dropped,
+                os.stale_reads,
+                os.max_staleness_txns,
+                os.commit_latency.to_json(),
+                os.read_latency.to_json()
+            );
+            for (i, w) in os.slo_violation_windows.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{w}");
+            }
+            let _ = write!(
+                out,
+                "],\n    \"baseline_p99_picos\": {},\n    \
+                 \"reattained_p99_picos\": {},\n    \
+                 \"time_to_reattain_p99_picos\": {}\n  }}",
+                opt(os.baseline_p99_picos),
+                opt(os.reattained_p99_picos),
+                opt(os.time_to_reattain_p99_picos)
+            );
+        }
+        out.push_str("\n}\n");
         out
     }
 }

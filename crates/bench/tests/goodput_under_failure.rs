@@ -1,0 +1,117 @@
+//! Availability under an injected failover, per replication strategy:
+//! goodput dips through the outage window, the SLO-violation list is
+//! nonzero, and the commit-latency p99 re-attains its pre-crash level
+//! once the backlog drains.
+//!
+//! These are the assertions behind the `simlat` artifact: if any of them
+//! ever goes vacuous (no dip, no violations, no re-attain) the scenario
+//! set stopped exercising the failover and the artifact is reporting a
+//! calm run with extra steps.
+
+use dsnrep_bench::openlat::{open_system_run, OpenLatConfig};
+use dsnrep_cluster::{ReplicationStrategy, Topology};
+use dsnrep_core::VersionTag;
+use dsnrep_simcore::{VirtualDuration, MIB};
+use dsnrep_workloads::{ArrivalProcess, WorkloadKind};
+
+fn crash_config(topology: Topology) -> OpenLatConfig {
+    OpenLatConfig {
+        label: "goodput-under-failure".to_string(),
+        topology,
+        version: VersionTag::ImprovedLog,
+        workload: WorkloadKind::DebitCredit,
+        db_len: MIB,
+        workload_seed: 0xD5,
+        // The same shape as the simlat scenarios: steady state is calm,
+        // the ~2 ms detection-plus-recovery outage is what queues and
+        // drops, and the run outlasts the outage so the tail can recover.
+        process: ArrivalProcess::poisson(VirtualDuration::from_micros(40)),
+        arrival_seed: 0xA221,
+        requests: 400,
+        read_every: 2,
+        key_population: 256,
+        key_skew: 1.0,
+        queue_cap: 16,
+        slo_us: 2_000,
+        crash_after_commits: Some(60),
+    }
+}
+
+fn strategies() -> Vec<Topology> {
+    vec![
+        Topology::new(3, ReplicationStrategy::PrimaryBackup).expect("rf 3 pb"),
+        Topology::new(3, ReplicationStrategy::Chain).expect("rf 3 chain"),
+        Topology::new(3, ReplicationStrategy::Quorum { read: 2, write: 2 }).expect("rf 3 quorum"),
+    ]
+}
+
+#[test]
+fn every_strategy_dips_violates_and_reattains_under_a_failover() {
+    for topology in strategies() {
+        let run = open_system_run(&crash_config(topology));
+        let report = &run.availability;
+        let os = report.open_system.as_ref().expect("open-system section");
+        let crash = run.crash_picos.expect("the run crashes the head");
+        let recovery_end = run.recovery_end_picos.expect("the takeover completes");
+        assert!(
+            recovery_end > crash,
+            "{topology}: detection + recovery must take real virtual time"
+        );
+
+        // Goodput dips during the outage: some window overlapping the
+        // crash-to-serving gap commits strictly fewer transactions than
+        // the pre-crash median (the availability report's own SLO
+        // threshold is half that median, so undershooting the threshold
+        // is an even stronger dip).
+        let window = report.window_picos;
+        let outage_windows: Vec<u64> = (crash / window..=recovery_end / window).collect();
+        let dipped = report
+            .violation_windows
+            .iter()
+            .any(|w| outage_windows.contains(w));
+        assert!(
+            dipped,
+            "{topology}: no goodput violation window overlaps the outage \
+             {outage_windows:?} (violations: {:?})",
+            report.violation_windows
+        );
+
+        // The arrival stream felt it: latency SLO violations and drops.
+        assert!(
+            !os.slo_violation_windows.is_empty(),
+            "{topology}: the outage must blow the latency SLO somewhere"
+        );
+        assert!(
+            os.dropped > 0,
+            "{topology}: a bounded queue under a multi-millisecond outage \
+             must drop arrivals"
+        );
+
+        // And the tail recovered: p99 re-attains its pre-crash baseline.
+        let baseline = os.baseline_p99_picos.expect("crash runs have a baseline");
+        let reattained_at = os
+            .reattained_p99_picos
+            .unwrap_or_else(|| panic!("{topology}: the p99 never re-attained {baseline} ps"));
+        assert!(
+            reattained_at > crash,
+            "{topology}: re-attainment is a post-crash event"
+        );
+        let time_to = os
+            .time_to_reattain_p99_picos
+            .expect("re-attainment implies a duration");
+        assert_eq!(time_to, reattained_at - crash, "{topology}");
+        // The blown-out tail lasts at least as long as the outage itself:
+        // requests that arrived during the gap carry the gap in their
+        // latency, so re-attainment cannot precede the promoted node
+        // serving again.
+        assert!(
+            reattained_at >= recovery_end,
+            "{topology}: p99 re-attained at {reattained_at} before recovery \
+             ended at {recovery_end}"
+        );
+
+        // The same seed and strategy reproduce the same dip, bit for bit.
+        let again = open_system_run(&crash_config(topology));
+        assert_eq!(again.availability, run.availability, "{topology}");
+    }
+}

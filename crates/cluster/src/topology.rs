@@ -184,6 +184,17 @@ impl Topology {
         }
     }
 
+    /// How many replicas a read must consult before it can complete: R
+    /// for quorum replication (the R+W > RF intersection guarantee makes
+    /// the freshest of those R responses current), 1 otherwise (the
+    /// primary, or the chain tail, is authoritative on its own).
+    pub fn read_quorum(&self) -> u8 {
+        match self.strategy {
+            ReplicationStrategy::Quorum { read, .. } => read,
+            _ => 1,
+        }
+    }
+
     /// The membership view manager for this topology: node 0 primary,
     /// nodes `1..rf` backups in seniority order.
     pub fn view_manager(&self, at: VirtualInstant) -> ViewManager {
@@ -252,6 +263,15 @@ mod tests {
                 rf: 4
             })
         );
+    }
+
+    #[test]
+    fn read_quorum_is_r_for_quorum_and_one_otherwise() {
+        assert_eq!(Topology::pair().read_quorum(), 1);
+        let chain = Topology::new(4, ReplicationStrategy::Chain).unwrap();
+        assert_eq!(chain.read_quorum(), 1);
+        let q = Topology::new(5, ReplicationStrategy::Quorum { read: 3, write: 3 }).unwrap();
+        assert_eq!(q.read_quorum(), 3);
     }
 
     #[test]

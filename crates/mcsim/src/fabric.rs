@@ -109,6 +109,51 @@ impl Fabric {
         Some(timing)
     }
 
+    /// Models one replica-read round trip: a control-metadata request on
+    /// the `from → to` link at `ready`, answered by a response on the
+    /// reverse link the instant the request is delivered. Payloads larger
+    /// than the Memory Channel packet maximum are split into a serialized
+    /// packet train, like every other transfer on the fabric.
+    ///
+    /// Returns the instant the last response packet lands back at `from`,
+    /// or `None` if a partition fault swallowed any packet of either leg
+    /// — the reader times out instead of hearing back, exactly as a real
+    /// client would. Swallowed packets still serialize on their links, so
+    /// a timed-out read costs the fabric what a served one does.
+    pub fn read_round_trip(
+        &mut self,
+        from: u8,
+        to: u8,
+        ready: VirtualInstant,
+        request_bytes: u64,
+        response_bytes: u64,
+    ) -> Option<VirtualInstant> {
+        let delivered = self.send_meta_train(from, to, ready, request_bytes)?;
+        self.send_meta_train(to, from, delivered, response_bytes)
+    }
+
+    /// Sends `bytes` of control metadata as a train of maximum-sized
+    /// packets (at least one); returns the delivery instant of the last
+    /// packet, or `None` if any packet was dropped.
+    fn send_meta_train(
+        &mut self,
+        from: u8,
+        to: u8,
+        ready: VirtualInstant,
+        bytes: u64,
+    ) -> Option<VirtualInstant> {
+        let max = self.costs.max_packet.max(1);
+        let mut remaining = bytes;
+        loop {
+            let chunk = remaining.min(max);
+            let timing = self.send(from, to, ready, [0, 0, chunk])?;
+            remaining -= chunk;
+            if remaining == 0 {
+                return Some(timing.delivered);
+            }
+        }
+    }
+
     /// Injects an asymmetric partition delay: every `from → to` delivery
     /// from now on arrives `extra` later. Cumulative with earlier delays
     /// on the same pair.
@@ -219,6 +264,25 @@ mod tests {
         let mut f = Fabric::new(&CostModel::alpha_21164a());
         f.partition_drop_after(2, 0, 0);
         assert!(f.send(2, 0, VirtualInstant::EPOCH, modified(4)).is_none());
+    }
+
+    #[test]
+    fn read_round_trip_costs_both_legs_and_respects_partitions() {
+        let costs = CostModel::alpha_21164a();
+        let mut f = Fabric::new(&costs);
+        let done = f
+            .read_round_trip(0, 2, VirtualInstant::EPOCH, 16, 64)
+            .unwrap();
+        // Two serialized legs: the response can only leave after the
+        // request is delivered, so the round trip spans both latencies.
+        assert!(done >= VirtualInstant::EPOCH + costs.link_latency + costs.link_latency);
+        assert_eq!(f.pairs().count(), 2);
+        // A partition on either leg swallows the whole read.
+        f.partition_drop_after(2, 0, 0);
+        assert!(f.read_round_trip(0, 2, done, 16, 64).is_none());
+        f.heal_partitions();
+        f.partition_drop_after(0, 2, 0);
+        assert!(f.read_round_trip(0, 2, done, 16, 64).is_none());
     }
 
     #[test]

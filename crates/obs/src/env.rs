@@ -77,6 +77,52 @@ pub fn parse_flows_flag(raw: Option<&str>) -> (bool, Option<String>) {
     }
 }
 
+/// Default seed for the open-system arrival generator (`DSNREP_ARRIVAL_SEED`).
+pub const DEFAULT_ARRIVAL_SEED: u64 = 0xA221;
+
+/// Default commit-latency SLO in virtual microseconds (`DSNREP_SLO_US`).
+pub const DEFAULT_SLO_US: u64 = 2_000;
+
+/// Interprets `DSNREP_ARRIVAL_SEED` (open-system arrival-process seed):
+/// unset means [`DEFAULT_ARRIVAL_SEED`]; a set value must parse as a `u64`
+/// (any value, zero included, is a usable seed), and anything else yields
+/// the default plus a warning.
+pub fn parse_arrival_seed(raw: Option<&str>) -> (u64, Option<String>) {
+    match raw {
+        None => (DEFAULT_ARRIVAL_SEED, None),
+        Some(v) => match v.trim().parse::<u64>() {
+            Ok(seed) => (seed, None),
+            _ => (
+                DEFAULT_ARRIVAL_SEED,
+                Some(format!(
+                    "DSNREP_ARRIVAL_SEED={v:?} is not a u64 seed; \
+                     using the default of {DEFAULT_ARRIVAL_SEED}"
+                )),
+            ),
+        },
+    }
+}
+
+/// Interprets `DSNREP_SLO_US` (per-request latency SLO, virtual
+/// microseconds): unset means [`DEFAULT_SLO_US`]; a set value must parse as
+/// a positive microsecond count convertible to picoseconds, and anything
+/// else yields the default plus a warning.
+pub fn parse_slo_us(raw: Option<&str>) -> (u64, Option<String>) {
+    match raw {
+        None => (DEFAULT_SLO_US, None),
+        Some(v) => match v.trim().parse::<u64>() {
+            Ok(us) if us > 0 && us <= u64::MAX / 1_000_000 => (us, None),
+            _ => (
+                DEFAULT_SLO_US,
+                Some(format!(
+                    "DSNREP_SLO_US={v:?} is not a usable SLO in virtual us; \
+                     using the default of {DEFAULT_SLO_US} virtual us"
+                )),
+            ),
+        },
+    }
+}
+
 /// Emits `warning: {message}` to stderr at most once per `key` for the
 /// lifetime of the process (the key is conventionally the variable name).
 pub fn warn_once(key: &str, message: &str) {
@@ -135,6 +181,37 @@ mod tests {
                 warning.is_some_and(|m| m.contains("DSNREP_TS_WINDOW_US")),
                 "input {bad:?}"
             );
+        }
+    }
+
+    #[test]
+    fn arrival_seed_accepts_any_u64_and_warns_on_noise() {
+        assert_eq!(parse_arrival_seed(None), (DEFAULT_ARRIVAL_SEED, None));
+        assert_eq!(parse_arrival_seed(Some("0")), (0, None));
+        assert_eq!(parse_arrival_seed(Some(" 42 ")), (42, None));
+        assert_eq!(
+            parse_arrival_seed(Some("18446744073709551615")),
+            (u64::MAX, None)
+        );
+        for bad in ["", "-1", "seed", "1.5", "99999999999999999999999"] {
+            let (seed, warning) = parse_arrival_seed(Some(bad));
+            assert_eq!(seed, DEFAULT_ARRIVAL_SEED, "input {bad:?}");
+            let message = warning.unwrap_or_else(|| panic!("no warning for {bad:?}"));
+            assert!(message.contains("DSNREP_ARRIVAL_SEED"), "{message}");
+            assert!(message.contains(&format!("{bad:?}")), "{message}");
+        }
+    }
+
+    #[test]
+    fn slo_us_requires_positive_microseconds() {
+        assert_eq!(parse_slo_us(None), (DEFAULT_SLO_US, None));
+        assert_eq!(parse_slo_us(Some("500")), (500, None));
+        for bad in ["0", "", "fast", "-2", "99999999999999999999"] {
+            let (us, warning) = parse_slo_us(Some(bad));
+            assert_eq!(us, DEFAULT_SLO_US, "input {bad:?}");
+            let message = warning.unwrap_or_else(|| panic!("no warning for {bad:?}"));
+            assert!(message.contains("DSNREP_SLO_US"), "{message}");
+            assert!(message.contains(&format!("{bad:?}")), "{message}");
         }
     }
 

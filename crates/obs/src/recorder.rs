@@ -84,6 +84,7 @@ struct Inner {
     track_names: Vec<Option<String>>,
     txns: u64,
     commit_latency_log2: [u64; LATENCY_BUCKETS],
+    read_latency_log2: [u64; LATENCY_BUCKETS],
     hub: MetricsHub,
     /// Causal recording (packet lifecycles, applies, txn paths). Kept in
     /// dedicated stores so toggling it never perturbs the span/instant
@@ -210,6 +211,7 @@ impl FlightRecorder {
                 track_names: Vec::new(),
                 txns: 0,
                 commit_latency_log2: [0; LATENCY_BUCKETS],
+                read_latency_log2: [0; LATENCY_BUCKETS],
                 hub: MetricsHub::new(DEFAULT_WINDOW_PICOS),
                 causal: true,
                 packet_lives: VecDeque::new(),
@@ -296,6 +298,13 @@ impl FlightRecorder {
     /// span itself has since been dropped from the ring).
     pub fn txns(&self) -> u64 {
         self.inner.borrow().txns
+    }
+
+    /// The whole-run read-latency log₂ histogram fed by `Phase::Read`
+    /// spans. Kept apart from the commit histogram so read traffic never
+    /// perturbs [`TraceSummary::commit_latency_log2`].
+    pub fn read_latency_log2(&self) -> Vec<u64> {
+        self.inner.borrow().read_latency_log2.to_vec()
     }
 
     /// A copy of the spans currently in the ring, oldest first.
@@ -472,6 +481,15 @@ impl Tracer for FlightRecorder {
             // the same events, attributed to the commit instant's window.
             inner.hub.counter_add(track, Metric::CommittedTxns, end, 1);
             inner.hub.observe_latency(track, end, bucket);
+        }
+        if phase == Phase::Read {
+            // Reads get their own histogram: folding them into the commit
+            // histogram would break the commit-latency conservation law.
+            let picos = end.duration_since(start).as_picos();
+            let bucket = 63 - picos.max(1).leading_zeros() as usize;
+            inner.read_latency_log2[bucket] += 1;
+            inner.hub.counter_add(track, Metric::ReadsServed, end, 1);
+            inner.hub.observe_read_latency(track, end, bucket);
         }
         if inner.spans.len() == inner.capacity {
             inner.spans.pop_front();

@@ -52,6 +52,7 @@ struct OpenWindow {
     index: u64,
     values: [u64; Metric::COUNT],
     latency: [u64; LATENCY_BUCKETS],
+    read_latency: [u64; LATENCY_BUCKETS],
 }
 
 impl OpenWindow {
@@ -66,28 +67,33 @@ impl OpenWindow {
             index,
             values,
             latency: [0; LATENCY_BUCKETS],
+            read_latency: [0; LATENCY_BUCKETS],
         }
     }
 
     fn close(&self) -> ClosedWindow {
-        ClosedWindow {
-            values: self.values,
-            latency: self
-                .latency
-                .iter()
+        let sparse = |hist: &[u64; LATENCY_BUCKETS]| {
+            hist.iter()
                 .enumerate()
                 .filter(|(_, &c)| c > 0)
                 .map(|(b, &c)| (b as u8, c))
-                .collect(),
+                .collect()
+        };
+        ClosedWindow {
+            values: self.values,
+            latency: sparse(&self.latency),
+            read_latency: sparse(&self.read_latency),
         }
     }
 }
 
-/// One finished window: metric values plus a sparse latency histogram.
+/// One finished window: metric values plus sparse commit- and
+/// read-latency histograms.
 #[derive(Clone, Debug)]
 struct ClosedWindow {
     values: [u64; Metric::COUNT],
     latency: Vec<(u8, u64)>,
+    read_latency: Vec<(u8, u64)>,
 }
 
 /// One track's window sequence. Closed windows are contiguous from
@@ -216,6 +222,17 @@ impl MetricsHub {
         open.latency[bucket.min(LATENCY_BUCKETS - 1)] += 1;
     }
 
+    /// Records one served read in log₂ latency `bucket` within the window
+    /// containing `at` (a `Read` span's end instant). Read latency lives in
+    /// its own histogram so the commit-latency conservation law
+    /// ([`TimeSeries::verify_against_summary`]) is untouched by read
+    /// traffic.
+    pub fn observe_read_latency(&mut self, track: u32, at: VirtualInstant, bucket: usize) {
+        let w = self.window_picos;
+        let open = self.track_mut(track).ensure(at.as_picos(), w);
+        open.read_latency[bucket.min(LATENCY_BUCKETS - 1)] += 1;
+    }
+
     /// Materializes every window that the timestamps recorded so far have
     /// already closed, without attributing anything to `at` itself: each
     /// track advances only to `min(at, last update on that track)`, so a
@@ -250,6 +267,7 @@ impl MetricsHub {
                     name: name_of(i as u32),
                     first_window: t.first_window,
                     values: windows.iter().map(|w| w.values).collect(),
+                    read_latency: windows.iter().map(|w| w.read_latency.clone()).collect(),
                     latency: windows.into_iter().map(|w| w.latency).collect(),
                 }
             })
@@ -276,6 +294,8 @@ pub struct TrackTimeSeries {
     pub values: Vec<[u64; Metric::COUNT]>,
     /// Per-window sparse commit-latency histogram: `(log2 bucket, count)`.
     pub latency: Vec<Vec<(u8, u64)>>,
+    /// Per-window sparse read-latency histogram: `(log2 bucket, count)`.
+    pub read_latency: Vec<Vec<(u8, u64)>>,
 }
 
 impl TrackTimeSeries {
@@ -339,6 +359,21 @@ impl TimeSeries {
         let mut hist = vec![0u64; LATENCY_BUCKETS];
         for track in &self.tracks {
             for window in &track.latency {
+                for &(bucket, count) in window {
+                    hist[bucket as usize] += count;
+                }
+            }
+        }
+        hist
+    }
+
+    /// Sums the read-latency windows of every track back into one whole-run
+    /// log₂ histogram — must equal the recorder's `read_latency_log2`
+    /// exactly (the read-side twin of [`TimeSeries::latency_reaggregated`]).
+    pub fn read_latency_reaggregated(&self) -> Vec<u64> {
+        let mut hist = vec![0u64; LATENCY_BUCKETS];
+        for track in &self.tracks {
+            for window in &track.read_latency {
                 for &(bucket, count) in window {
                     hist[bucket as usize] += count;
                 }
@@ -542,6 +577,54 @@ impl TimeSeries {
             out.push_str("\n      ],\n      \"latency_percentiles\": [");
             let mut first = true;
             for (w, buckets) in t.latency.iter().enumerate() {
+                let (Some(p50), Some(p95), Some(p99)) = (
+                    sparse_percentile(buckets, 0.50),
+                    sparse_percentile(buckets, 0.95),
+                    sparse_percentile(buckets, 0.99),
+                ) else {
+                    continue;
+                };
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "\n        {{\"window\": {}, \"p50_ge_picos\": {p50}, \
+                     \"p95_ge_picos\": {p95}, \"p99_ge_picos\": {p99}}}",
+                    t.first_window + w as u64
+                );
+            }
+            out.push_str("\n      ],\n      \"read_latency_log2\": [");
+            let mut first = true;
+            for (w, buckets) in t.read_latency.iter().enumerate() {
+                if buckets.is_empty() {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "\n        {{\"window\": {}, \"buckets\": [",
+                    t.first_window + w as u64
+                );
+                for (j, &(bucket, count)) in buckets.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(
+                        out,
+                        "{{\"ge_picos\": {}, \"count\": {count}}}",
+                        1u128 << bucket
+                    );
+                }
+                out.push_str("]}");
+            }
+            out.push_str("\n      ],\n      \"read_latency_percentiles\": [");
+            let mut first = true;
+            for (w, buckets) in t.read_latency.iter().enumerate() {
                 let (Some(p50), Some(p95), Some(p99)) = (
                     sparse_percentile(buckets, 0.50),
                     sparse_percentile(buckets, 0.95),

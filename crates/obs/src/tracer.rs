@@ -35,11 +35,14 @@ pub enum Phase {
     /// Backup-side apply: a redo reader draining delivered log into the
     /// backup database image (active scheme's `catch_up`/takeover drain).
     Apply,
+    /// A replica read served by the strategy's read path (primary, chain
+    /// tail, or R-quorum). Never folded into the commit-latency histogram.
+    Read,
 }
 
 impl Phase {
     /// Every phase, in display order.
-    pub const ALL: [Phase; 9] = [
+    pub const ALL: [Phase; 10] = [
         Phase::Txn,
         Phase::Begin,
         Phase::UndoWrite,
@@ -49,6 +52,7 @@ impl Phase {
         Phase::Abort,
         Phase::Recovery,
         Phase::Apply,
+        Phase::Read,
     ];
 
     /// A stable lower-snake-case name for trace and JSON output.
@@ -63,6 +67,7 @@ impl Phase {
             Phase::Abort => "abort",
             Phase::Recovery => "recovery",
             Phase::Apply => "apply",
+            Phase::Read => "read",
         }
     }
 }
@@ -166,11 +171,27 @@ pub enum Metric {
     /// SAN packets sent but not yet delivered to the peer, the sender's
     /// in-flight queue depth (gauge).
     LinkQueueDepth,
+    /// Replica reads served by the strategy's read path (counter).
+    ReadsServed,
+    /// Reads that observed a committed-but-stale prefix: the serving
+    /// replica's visible sequence trailed the coordinator's committed
+    /// sequence at the read instant (counter).
+    StaleReads,
+    /// Total staleness across served reads, in transactions: the sum over
+    /// reads of `committed_seq - visible_seq` at the read instant (counter).
+    ReadStalenessTxns,
+    /// Open-system requests dropped at the arrival queue (counter).
+    RequestsDropped,
+    /// Picoseconds open-system requests waited between arrival and service
+    /// start, summed per request at service time (counter).
+    ArrivalQueueDelayPicos,
+    /// Open-system requests arrived but not yet served or dropped (gauge).
+    InflightArrivals,
 }
 
 impl Metric {
-    /// Every metric, in display order (counters first, then gauges).
-    pub const ALL: [Metric; 17] = [
+    /// Every metric, in display order.
+    pub const ALL: [Metric; 23] = [
         Metric::CommittedTxns,
         Metric::SanPackets,
         Metric::SanModifiedBytes,
@@ -188,10 +209,16 @@ impl Metric {
         Metric::WbufDirtyLines,
         Metric::CacheOccupancyLines,
         Metric::LinkQueueDepth,
+        Metric::ReadsServed,
+        Metric::StaleReads,
+        Metric::ReadStalenessTxns,
+        Metric::RequestsDropped,
+        Metric::ArrivalQueueDelayPicos,
+        Metric::InflightArrivals,
     ];
 
     /// Number of metrics (length of [`Metric::ALL`]).
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 23;
 
     /// Dense index into [`Metric::ALL`].
     pub const fn index(self) -> usize {
@@ -216,7 +243,8 @@ impl Metric {
             Metric::InflightTxns
             | Metric::WbufDirtyLines
             | Metric::CacheOccupancyLines
-            | Metric::LinkQueueDepth => MetricKind::Gauge,
+            | Metric::LinkQueueDepth
+            | Metric::InflightArrivals => MetricKind::Gauge,
             _ => MetricKind::Counter,
         }
     }
@@ -241,6 +269,12 @@ impl Metric {
             Metric::WbufDirtyLines => "wbuf_dirty_lines",
             Metric::CacheOccupancyLines => "cache_occupancy_lines",
             Metric::LinkQueueDepth => "link_queue_depth",
+            Metric::ReadsServed => "reads_served",
+            Metric::StaleReads => "stale_reads",
+            Metric::ReadStalenessTxns => "read_staleness_txns",
+            Metric::RequestsDropped => "requests_dropped",
+            Metric::ArrivalQueueDelayPicos => "arrival_queue_delay_picos",
+            Metric::InflightArrivals => "inflight_arrivals",
         }
     }
 }

@@ -53,5 +53,5 @@ mod smp;
 
 pub use active::{ActiveCluster, ActivePrimaryEngine, ActiveTakeover, BackupNode};
 pub use passive::{Failover, PassiveCluster, Takeover};
-pub use replica_set::{modeled_pairs, ReplicaSet, ReplicaTakeover};
+pub use replica_set::{modeled_pairs, ReadSample, ReplicaSet, ReplicaTakeover};
 pub use smp::{Scheme, SmpExperiment, SmpReport};

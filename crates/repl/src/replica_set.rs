@@ -43,7 +43,7 @@ use std::rc::Rc;
 use dsnrep_cluster::{NodeId, ReplicationStrategy, Topology};
 use dsnrep_core::{Durability, Engine, EngineConfig, Machine, VersionTag};
 use dsnrep_mcsim::{Fabric, PacketTap, TappedPacket, Traffic};
-use dsnrep_obs::{NullTracer, Tracer};
+use dsnrep_obs::{Metric, NullTracer, Phase, Tracer};
 use dsnrep_rio::Arena;
 use dsnrep_simcore::{Addr, CostModel, StallCause, TrafficClass, VirtualDuration, VirtualInstant};
 use dsnrep_workloads::{ThroughputReport, Workload};
@@ -52,6 +52,12 @@ use crate::passive::{PassiveCluster, Takeover};
 
 /// An acknowledgement packet: 8 bytes of meta-data (a sequence number).
 const ACK_BYTES: u64 = 8;
+
+/// A read request: a key plus a sequence floor, 8 bytes of metadata.
+const READ_REQUEST_BYTES: u64 = 8;
+
+/// A read response: one 32-byte record image.
+const READ_RESPONSE_BYTES: u64 = 32;
 
 fn ack_payload() -> [u64; 3] {
     let mut class_bytes = [0u64; 3];
@@ -149,6 +155,37 @@ impl DownstreamNode {
     }
 }
 
+/// One committed transaction's replica visibility: when each replica held
+/// the whole transaction (`visible[i]` is node `i + 1`; `None` means a
+/// partition hole left that copy permanently incomplete).
+#[derive(Clone, Debug)]
+struct TxnVisibility {
+    visible: Vec<Option<VirtualInstant>>,
+}
+
+/// One served replica read: who answered, what committed prefix it
+/// observed, and how stale that prefix was against the coordinator.
+///
+/// `seq` is a *prefix*: the largest `p` such that the serving copy held
+/// every transaction `1..=p` when the read was issued — a read never
+/// observes transaction `k + 1` without `k`, so the value it returns is
+/// always some committed image, never a torn one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadSample {
+    /// When the read was issued.
+    pub at: VirtualInstant,
+    /// When the response was available to the client (issue + service
+    /// cost, plus the fabric round trips for quorum reads).
+    pub completed: VirtualInstant,
+    /// The node whose copy answered (the freshest responder for quorum).
+    pub node: NodeId,
+    /// The committed prefix the read observed.
+    pub seq: u64,
+    /// Transactions committed at issue time but absent from the observed
+    /// prefix: `committed(at) - seq`.
+    pub staleness: u64,
+}
+
 /// The completed takeover of a [`ReplicaSet`]: which node was promoted,
 /// and the [`Takeover`] ready to run the version's recovery procedure.
 #[derive(Debug)]
@@ -207,6 +244,13 @@ pub struct ReplicaSet<T: Tracer + 'static = NullTracer> {
     /// unreachable, or fewer than W−1 replica acks) and proceeded after a
     /// coordinator timeout.
     degraded_commits: u64,
+    /// Commit instant of every transaction run so far, in order (the
+    /// coordinator's committed-prefix clock for staleness accounting).
+    commit_instants: Vec<VirtualInstant>,
+    /// Per-transaction replica visibility, aligned with `commit_instants`.
+    visibility: Vec<TxnVisibility>,
+    /// Quorum read-set rotation cursor.
+    read_rotation: u64,
 }
 
 impl ReplicaSet {
@@ -279,6 +323,9 @@ impl<T: Tracer + 'static> ReplicaSet<T> {
             downstream,
             node1_received: 0,
             degraded_commits: 0,
+            commit_instants: Vec::new(),
+            visibility: Vec::new(),
+            read_rotation: 0,
         }
     }
 
@@ -394,7 +441,9 @@ impl<T: Tracer + 'static> ReplicaSet<T> {
     /// caller catches the unwind, as with [`PassiveCluster`]).
     pub fn run_txn(&mut self, workload: &mut dyn Workload<T>) {
         self.head.run_txn(workload);
-        self.settle_txn();
+        let visible = self.settle_txn();
+        self.commit_instants.push(self.head.machine().now());
+        self.visibility.push(TxnVisibility { visible });
     }
 
     /// Runs `txns` transactions and reports head throughput (inclusive of
@@ -411,10 +460,13 @@ impl<T: Tracer + 'static> ReplicaSet<T> {
     }
 
     /// Post-transaction replication settlement (no-op for primary-backup:
-    /// the multicast already delivered inside the accounted path).
-    fn settle_txn(&mut self) {
+    /// the multicast already delivered inside the accounted path). Returns
+    /// when each replica held the whole transaction, for the read path's
+    /// staleness accounting (empty for primary-backup, whose reads are
+    /// always served by the primary).
+    fn settle_txn(&mut self) -> Vec<Option<VirtualInstant>> {
         match self.topology.strategy() {
-            ReplicationStrategy::PrimaryBackup => {}
+            ReplicationStrategy::PrimaryBackup => Vec::new(),
             ReplicationStrategy::Chain => self.settle_chain_txn(),
             ReplicationStrategy::Quorum { write, .. } => self.settle_quorum_txn(write),
         }
@@ -492,7 +544,24 @@ impl<T: Tracer + 'static> ReplicaSet<T> {
         summary
     }
 
-    fn settle_chain_txn(&mut self) {
+    /// Replica visibility of the transaction settled at `now`: node 1
+    /// holds every 2-safe commit by its commit instant; a downstream node
+    /// holds it at its newest delivery, unless a drop left its copy
+    /// permanently holed.
+    fn settled_visibility(&self, node1: Option<VirtualInstant>) -> Vec<Option<VirtualInstant>> {
+        let mut visible = Vec::with_capacity(usize::from(self.topology.rf()) - 1);
+        visible.push(node1);
+        for node in &self.downstream {
+            visible.push(if node.data_lost {
+                None
+            } else {
+                Some(node.last_delivery)
+            });
+        }
+        visible
+    }
+
+    fn settle_chain_txn(&mut self) -> Vec<Option<VirtualInstant>> {
         let now = self.head.machine().now();
         // 2-safe commits mean every packet of the transaction has been
         // delivered to node 1 by now; forward the lot down the chain.
@@ -500,21 +569,22 @@ impl<T: Tracer + 'static> ReplicaSet<T> {
         for node in &mut self.downstream {
             node.apply_up_to(now);
         }
+        let visible = self.settled_visibility(Some(now));
         if summary.packets == 0 {
-            return;
+            return visible;
         }
         let rf = self.topology.rf();
         if rf == 2 {
             // A two-node chain is the pair: node 1 *is* the tail and the
             // 2-safe wait already covered its acknowledgement.
-            return;
+            return visible;
         }
         if summary.tail_reached < summary.packets {
             // A hop dropped part of the transaction: the tail will never
             // hold all of it, so its acknowledgement never comes. The
             // head times out and proceeds on node 1's 2-safe copy.
             self.degraded_commits += 1;
-            return;
+            return visible;
         }
         let tail = rf - 1;
         let tail_has_all = self.downstream[usize::from(tail) - 2].last_delivery;
@@ -527,16 +597,30 @@ impl<T: Tracer + 'static> ReplicaSet<T> {
             }
             None => self.degraded_commits += 1,
         }
+        visible
     }
 
-    fn settle_quorum_txn(&mut self, write: u8) {
+    fn settle_quorum_txn(&mut self, write: u8) -> Vec<Option<VirtualInstant>> {
         let now = self.head.machine().now();
         let summary = self.forward_up_to(now);
         for node in &mut self.downstream {
             node.apply_up_to(now);
         }
+        // In settlement (as opposed to a crash cut) the 2-safe wait means
+        // every packet's node-1 DMA has landed; a transaction with no
+        // packets is trivially everywhere.
+        let node1 = if summary.node1_missed == 0 {
+            Some(if summary.packets == 0 {
+                now
+            } else {
+                summary.node1_last
+            })
+        } else {
+            None
+        };
+        let visible = self.settled_visibility(node1);
         if summary.packets == 0 {
-            return;
+            return visible;
         }
         let rf = self.topology.rf();
         // Collect the acknowledgement arrivals: each replica holding the
@@ -564,7 +648,7 @@ impl<T: Tracer + 'static> ReplicaSet<T> {
         let needed = usize::from(write) - 1;
         let wait_to = if acks.len() >= needed {
             if needed == 0 {
-                return;
+                return visible;
             }
             acks[needed - 1]
         } else {
@@ -573,12 +657,142 @@ impl<T: Tracer + 'static> ReplicaSet<T> {
             self.degraded_commits += 1;
             match acks.last() {
                 Some(&last) => last,
-                None => return,
+                None => return visible,
             }
         };
         self.head
             .machine_mut()
             .stall_until(StallCause::TwoSafe, wait_to);
+        visible
+    }
+
+    /// Transactions committed at or before `at` — the coordinator's view,
+    /// the yardstick read staleness is measured against.
+    pub fn committed_at(&self, at: VirtualInstant) -> u64 {
+        self.commit_instants.partition_point(|&t| t <= at) as u64
+    }
+
+    /// The committed prefix replica `node` (1-based) held at `at`: the
+    /// largest `p` such that every transaction `1..=p` was fully delivered
+    /// to that copy by `at`.
+    fn visible_prefix(&self, node: u8, at: VirtualInstant) -> u64 {
+        let idx = usize::from(node) - 1;
+        let mut prefix = 0u64;
+        for txn in &self.visibility {
+            match txn.visible.get(idx) {
+                Some(Some(v)) if *v <= at => prefix += 1,
+                _ => break,
+            }
+        }
+        prefix
+    }
+
+    /// Serves one read issued at `at` through the strategy's read path:
+    ///
+    /// * **Primary-backup** — the primary answers from its own copy; zero
+    ///   staleness by construction.
+    /// * **Chain** — the tail answers from its local copy. The tail's
+    ///   prefix trails the head by the propagation delay down the chain,
+    ///   which is exactly the staleness this sample reports.
+    /// * **Quorum** — the coordinator consults a rotating read quorum of
+    ///   R of the RF nodes over the fabric (request out, record image
+    ///   back) and returns the freshest responding prefix; `R + W > RF`
+    ///   makes that prefix current whenever all R respond. Partitioned
+    ///   members time out silently; if every remote member times out the
+    ///   coordinator falls back to its own copy.
+    ///
+    /// The sample's `staleness` compares the observed prefix against the
+    /// coordinator's committed count at `at`. The serving node's
+    /// [`Phase::Read`] span and staleness counters go to the tracer.
+    pub fn serve_read(&mut self, at: VirtualInstant) -> ReadSample {
+        let rf = self.topology.rf();
+        let service = self.costs.cache_miss;
+        let sample = match self.topology.strategy() {
+            ReplicationStrategy::PrimaryBackup => {
+                let seq = self.committed_at(at);
+                ReadSample {
+                    at,
+                    completed: at + service,
+                    node: NodeId::new(0),
+                    seq,
+                    staleness: 0,
+                }
+            }
+            ReplicationStrategy::Chain => {
+                let tail = rf - 1;
+                let seq = self.visible_prefix(tail, at);
+                ReadSample {
+                    at,
+                    completed: at + service,
+                    node: NodeId::new(tail),
+                    seq,
+                    staleness: self.committed_at(at).saturating_sub(seq),
+                }
+            }
+            ReplicationStrategy::Quorum { read, .. } => {
+                // Rotate the read set over all RF nodes so replica copies
+                // actually serve (a head-always set would never observe
+                // staleness and never offload the coordinator).
+                let members: Vec<u8> = (0..u64::from(read))
+                    .map(|k| ((self.read_rotation + k) % u64::from(rf)) as u8)
+                    .collect();
+                self.read_rotation = (self.read_rotation + 1) % u64::from(rf);
+                let mut best: Option<(u64, u8)> = None;
+                let mut completed = at;
+                for &m in &members {
+                    let (response_at, prefix) = if m == 0 {
+                        (at + service, self.committed_at(at))
+                    } else {
+                        match self.fabric.read_round_trip(
+                            0,
+                            m,
+                            at,
+                            READ_REQUEST_BYTES,
+                            READ_RESPONSE_BYTES,
+                        ) {
+                            // The remote record fetch happens between the
+                            // legs; folding it in after keeps the total.
+                            Some(t) => (t + service, self.visible_prefix(m, at)),
+                            // Partitioned member: no response.
+                            None => continue,
+                        }
+                    };
+                    completed = completed.max(response_at);
+                    if best.is_none_or(|(p, _)| prefix > p) {
+                        best = Some((prefix, m));
+                    }
+                }
+                // Every remote member timed out: the coordinator serves
+                // from its own copy after the timeout.
+                let (seq, node) = best.unwrap_or((self.committed_at(at), 0));
+                if best.is_none() {
+                    completed = completed.max(at + service);
+                }
+                ReadSample {
+                    at,
+                    completed,
+                    node: NodeId::new(node),
+                    seq,
+                    staleness: self.committed_at(at).saturating_sub(seq),
+                }
+            }
+        };
+        if self.tracer.is_enabled() {
+            let track = u32::from(sample.node.as_u8());
+            self.tracer
+                .span(track, Phase::Read, sample.at, sample.completed);
+            if sample.staleness > 0 {
+                self.tracer
+                    .counter_add(track, Metric::StaleReads, sample.completed, 1);
+                self.tracer.counter_add(
+                    track,
+                    Metric::ReadStalenessTxns,
+                    sample.completed,
+                    sample.staleness,
+                );
+            }
+        }
+        sample
     }
 
     /// Gracefully quiesces the whole set: flushes and delivers the head's

@@ -246,6 +246,132 @@ fn chain_hop_drop_leaves_tail_behind_but_node1_whole() {
 }
 
 #[test]
+fn primary_backup_reads_are_never_stale() {
+    let config = config();
+    let mut set = ReplicaSet::new(
+        CostModel::alpha_21164a(),
+        VersionTag::ImprovedLog,
+        &config,
+        Topology::pair(),
+    );
+    let mut w = DebitCredit::new(set.engine().db_region(), 7);
+    set.run(&mut w, 20);
+    let now = set.machine().now();
+    let sample = set.serve_read(now);
+    assert_eq!(sample.node, NodeId::new(0));
+    assert_eq!(sample.seq, 20);
+    assert_eq!(sample.staleness, 0);
+    assert!(sample.completed > sample.at);
+}
+
+#[test]
+fn chain_tail_reads_trail_by_the_propagation_delay() {
+    let config = config();
+    let topology = Topology::new(3, ReplicationStrategy::Chain).unwrap();
+    let mut set = ReplicaSet::new(
+        CostModel::alpha_21164a(),
+        VersionTag::ImprovedLog,
+        &config,
+        topology,
+    );
+    let mut w = DebitCredit::new(set.engine().db_region(), 11);
+    set.run(&mut w, 30);
+    let now = set.machine().now();
+    // The tail serves; immediately after the last commit the forward hop
+    // may still be in flight, but the prefix is never ahead of the head.
+    let sample = set.serve_read(now);
+    assert_eq!(sample.node, NodeId::new(2));
+    assert!(sample.seq <= 30);
+    assert_eq!(sample.staleness, 30 - sample.seq);
+    // Far enough in the future everything has propagated.
+    let later = set.serve_read(now + VirtualDuration::from_millis(10));
+    assert_eq!(later.seq, 30);
+    assert_eq!(later.staleness, 0);
+    assert!(later.seq >= sample.seq, "tail reads are monotone");
+}
+
+#[test]
+fn quorum_reads_rotate_and_observe_staleness_under_delay() {
+    let config = config();
+    let topology = Topology::new(3, ReplicationStrategy::Quorum { read: 2, write: 2 }).unwrap();
+    let mut set = ReplicaSet::new(
+        CostModel::alpha_21164a(),
+        VersionTag::ImprovedLog,
+        &config,
+        topology,
+    );
+    // Slow the 0→2 fan-out: node 2's copy trails by 5 ms.
+    set.partition_delay(0, 2, VirtualDuration::from_millis(5));
+    let mut w = DebitCredit::new(set.engine().db_region(), 17);
+    set.run(&mut w, 30);
+    assert_eq!(set.degraded_commits(), 0);
+    let now = set.machine().now();
+    // R=2 over 3 nodes: every rotation includes node 1 or the head, and
+    // R+W > RF means any full quorum observes the committed prefix.
+    let mut nodes = std::collections::BTreeSet::new();
+    let mut last_completed = now;
+    for i in 0..6 {
+        let sample = set.serve_read(now + VirtualDuration::from_micros(i));
+        nodes.insert(sample.node.as_u8());
+        assert_eq!(sample.seq, 30, "rotation {i}");
+        assert_eq!(sample.staleness, 0, "rotation {i}");
+        assert!(sample.completed >= sample.at);
+        last_completed = last_completed.max(sample.completed);
+    }
+    assert!(nodes.len() > 1, "read quorums must rotate: {nodes:?}");
+    // Fabric read legs materialized: request out, response back.
+    let pairs: Vec<(u8, u8)> = set.fabric_traffic().iter().map(|(p, _)| *p).collect();
+    assert!(
+        pairs.contains(&(1, 0)) && pairs.contains(&(0, 1)),
+        "{pairs:?}"
+    );
+}
+
+#[test]
+fn quorum_reads_fall_back_to_the_head_when_replicas_are_cut() {
+    let config = config();
+    let topology = Topology::new(3, ReplicationStrategy::Quorum { read: 2, write: 2 }).unwrap();
+    let mut set = ReplicaSet::new(
+        CostModel::alpha_21164a(),
+        VersionTag::ImprovedLog,
+        &config,
+        topology,
+    );
+    let mut w = DebitCredit::new(set.engine().db_region(), 19);
+    set.run(&mut w, 10);
+    // Cut both read request paths: every remote member times out.
+    set.partition_drop_after(0, 1, 0);
+    set.partition_drop_after(0, 2, 0);
+    let now = set.machine().now();
+    for i in 0..3 {
+        let sample = set.serve_read(now + VirtualDuration::from_micros(i));
+        assert_eq!(sample.seq, 10, "read {i}");
+        assert_eq!(sample.staleness, 0, "read {i}");
+    }
+}
+
+#[test]
+fn replica_reads_are_deterministic() {
+    let run = || {
+        let config = config();
+        let topology = Topology::new(3, ReplicationStrategy::Quorum { read: 2, write: 2 }).unwrap();
+        let mut set = ReplicaSet::new(
+            CostModel::alpha_21164a(),
+            VersionTag::ImprovedLog,
+            &config,
+            topology,
+        );
+        let mut w = DebitCredit::new(set.engine().db_region(), 23);
+        set.run(&mut w, 15);
+        let now = set.machine().now();
+        (0..8)
+            .map(|i| set.serve_read(now + VirtualDuration::from_micros(10 * i)))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
 fn modeled_pairs_match_the_strategy() {
     let chain = Topology::new(4, ReplicationStrategy::Chain).unwrap();
     assert_eq!(modeled_pairs(chain), vec![(1, 2), (2, 3), (3, 0)]);

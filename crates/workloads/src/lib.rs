@@ -35,11 +35,13 @@
 
 mod ctx;
 mod debit_credit;
+mod open;
 mod order_entry;
 mod synthetic;
 
 pub use ctx::{TxCtx, WriteObserver};
 pub use debit_credit::DebitCredit;
+pub use open::{det_exp, det_ln, ArrivalGen, ArrivalProcess, ZipfKeys};
 pub use order_entry::OrderEntry;
 pub use synthetic::{Synthetic, SyntheticSpec};
 
